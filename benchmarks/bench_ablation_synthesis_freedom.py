@@ -1,0 +1,61 @@
+"""Ablation (not in the paper): which part of the "synthesis freedom" matters?
+
+The paper attributes the win of the flat form to giving the synthesis tool
+freedom to restructure.  Our flow decomposes that freedom into two passes —
+re-balancing and cross-output sharing — so we can measure each contribution:
+
+* ``as-written``   : the flat netlist mapped exactly as generated (chains);
+* ``balance-only`` : re-association without any sharing;
+* ``balance+share``: the full restructuring used for Table V.
+
+The same field is also mapped for the parenthesized baseline [7] as the
+reference point the paper compares against.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_effort
+
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.multipliers import generate_multiplier
+from repro.synth.flow import SynthesisOptions, implement
+
+FIELDS = [(8, 2), (32, 11), (64, 23)]
+
+
+def _ablation_rows(field):
+    modulus = type_ii_pentanomial(*field)
+    proposed = generate_multiplier("thiswork", modulus, verify=False)
+    parenthesized = generate_multiplier("imana2016", modulus, verify=False)
+    effort = bench_effort()
+    rows = {
+        "as-written": implement(
+            proposed, options=SynthesisOptions(restructure=False, effort=1, verify=False)
+        ),
+        "balance-only": implement(
+            proposed, options=SynthesisOptions(share_rounds=0, effort=1, verify=False)
+        ),
+        "balance+share": implement(proposed, options=SynthesisOptions(effort=effort, verify=False)),
+        "parenthesized [7]": implement(parenthesized, options=SynthesisOptions(effort=effort, verify=False)),
+    }
+    return rows
+
+
+def test_ablation_synthesis_freedom(benchmark):
+    rows_by_field = benchmark.pedantic(
+        lambda: {field: _ablation_rows(field) for field in FIELDS}, rounds=1, iterations=1
+    )
+    print("\n--- Ablation: value of restructuring freedom ---")
+    for field, rows in rows_by_field.items():
+        print(f"field {field}:")
+        for label, result in rows.items():
+            print(
+                f"  {label:18s} LUTs={result.luts:6d} delay={result.delay_ns:6.2f} ns "
+                f"AxT={result.area_time:10.1f}"
+            )
+        # The full freedom must beat mapping the flat netlist as written, and
+        # must beat the parenthesized structure of ref [7].
+        assert rows["balance+share"].area_time <= rows["as-written"].area_time
+        assert rows["balance+share"].area_time <= rows["parenthesized [7]"].area_time
+        # Balancing alone already recovers most of the delay advantage.
+        assert rows["balance-only"].delay_ns <= rows["as-written"].delay_ns

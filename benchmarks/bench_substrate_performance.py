@@ -1,0 +1,53 @@
+"""Substrate performance benchmarks (not a paper table).
+
+Tracks the raw speed of the building blocks every experiment relies on:
+field multiplication, bit-parallel netlist simulation, and k-LUT mapping.
+Useful for catching performance regressions that would make the full Table V
+sweep impractical.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.galois.field import GF2mField
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.multipliers import generate_multiplier
+from repro.netlist.simulate import simulate_words
+from repro.synth.lutmap import map_to_luts
+
+
+def test_field_multiplication_throughput(benchmark):
+    field = GF2mField(type_ii_pentanomial(163, 66))
+    rng = random.Random(1)
+    operands = [(rng.getrandbits(163), rng.getrandbits(163)) for _ in range(200)]
+
+    def multiply_all():
+        total = 0
+        for a, b in operands:
+            total ^= field.multiply(a, b)
+        return total
+
+    assert benchmark(multiply_all) >= 0
+
+
+def test_bit_parallel_simulation_throughput(benchmark, gf28_modulus):
+    multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+    rng = random.Random(2)
+    a_values = [rng.getrandbits(8) for _ in range(1024)]
+    b_values = [rng.getrandbits(8) for _ in range(1024)]
+    products = benchmark(simulate_words, multiplier.netlist, 8, a_values, b_values)
+    assert len(products) == 1024
+
+
+def test_lut_mapping_throughput_gf2_64(benchmark):
+    modulus = type_ii_pentanomial(64, 23)
+    multiplier = generate_multiplier("reyhani_hasan", modulus, verify=False)
+    mapped = benchmark(map_to_luts, multiplier.netlist, 6)
+    assert mapped.lut_count > 0
+
+
+def test_multiplier_generation_throughput_gf2_113(benchmark):
+    modulus = type_ii_pentanomial(113, 34)
+    multiplier = benchmark(lambda: generate_multiplier("thiswork", modulus, verify=False))
+    assert multiplier.stats().and_gates == 113 * 113

@@ -1,0 +1,39 @@
+"""Paper Table II — splitting of S_i / T_i into complete-binary-tree terms.
+
+Regenerates the split-term table for GF(2^8), checks a verbatim sample
+against the publication, and benchmarks the splitting for larger fields.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.spec.splitting import split_table
+
+PAPER_SAMPLE = {
+    "S8^3": "S8^3 = (z0^7 + z1^6 + z2^5 + z3^4)",
+    "T0^2": "T0^2 = (z2^6 + z3^5)",
+    "S7^2": "S7^2 = (z1^5 + z2^4)",
+    "T4^1": "T4^1 = z5^7",
+    "T6^0": "T6^0 = x7",
+}
+
+
+def test_table2_gf28_matches_paper(benchmark, gf28_modulus):
+    table = benchmark(split_table, 8)
+    assert len(table) == 25       # the paper's Table II has 25 split terms
+    for label, text in PAPER_SAMPLE.items():
+        assert table[label].to_string() == text
+    print("\n--- Table II (reproduced, 25 split terms) ---")
+    for label in sorted(table):
+        print(f"  {table[label].to_string()}")
+
+
+@pytest.mark.parametrize("m", [64, 113, 163])
+def test_table2_scaling(benchmark, m):
+    table = benchmark(split_table, m)
+    # Every term holds a power-of-two number of partial products.
+    assert all(term.product_count & (term.product_count - 1) == 0 for term in table.values())
+    # The deepest term has level floor(log2(m)).
+    assert max(term.level for term in table.values()) == m.bit_length() - 1

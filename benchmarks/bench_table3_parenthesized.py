@@ -1,0 +1,40 @@
+"""Paper Table III — parenthesized coefficients and their theoretical complexity.
+
+Regenerates the parenthesized (delay-restricted) expressions for GF(2^8),
+checks the paper's theoretical figures (delay T_A + 5 T_X, 64 AND gates,
+~87 XOR gates) and benchmarks the construction of the corresponding netlist.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import split_scheme_complexity
+from repro.multipliers import generate_multiplier
+from repro.spec.parenthesize import parenthesized_coefficients
+
+
+def test_table3_parenthesized_expressions(benchmark, gf28_modulus):
+    coefficients = benchmark(parenthesized_coefficients, gf28_modulus)
+    worst = max(coefficient.xor_depth for coefficient in coefficients)
+    assert worst == 5                       # paper: delay TA + 5TX
+    print("\n--- Table III (reproduced, parenthesized) ---")
+    for coefficient in coefficients:
+        print(f"  {coefficient.to_string()};")
+    print(f"  theoretical delay: TA + {worst}TX (paper: TA + 5TX)")
+
+
+def test_table3_theoretical_complexity(gf28_modulus):
+    complexity = split_scheme_complexity(gf28_modulus)
+    print(
+        f"\nsplit scheme complexity: {complexity.and_gates} AND, {complexity.xor_gates} XOR, "
+        f"{complexity.delay_expression()}  (paper: 64 AND, 87 XOR, TA + 5TX)"
+    )
+    assert complexity.and_gates == 64
+    assert abs(complexity.xor_gates - 87) <= 10
+
+
+def test_table3_gate_level_circuit(benchmark, gf28_modulus):
+    multiplier = benchmark(lambda: generate_multiplier("imana2016", gf28_modulus, verify=False))
+    stats = multiplier.stats()
+    assert stats.and_gates == 64
+    assert stats.xor_depth == 5
+    print(f"\nimana2016 netlist: {stats.and_gates} AND, {stats.xor_gates} XOR, {stats.delay_expression()}")

@@ -1,0 +1,82 @@
+"""Paper Table V — post-implementation comparison of the six multiplier methods.
+
+This is the paper's main experiment.  For every field in the sweep it
+generates the six Table V constructions, runs the Python FPGA flow, prints
+the measured LUTs / slices / delay / Area×Time next to the paper's published
+values, and evaluates the paper's qualitative claims.
+
+By default a fast subset of fields is swept; set ``REPRO_TABLE5_FULL=1`` to
+run all nine paper fields (several minutes of pure-Python mapping).
+The per-row timing benchmark measures the full flow for one representative
+field/method so pytest-benchmark reports a meaningful figure without
+repeating the whole sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_effort, table5_fields
+
+from repro.analysis.compare import claims_report, compare_to_paper, run_comparison
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.multipliers import generate_multiplier
+from repro.synth.flow import SynthesisOptions, implement
+
+_COMPARISONS = None
+
+
+def _comparisons():
+    """Run the sweep once per benchmark session and cache the result."""
+    global _COMPARISONS
+    if _COMPARISONS is None:
+        _COMPARISONS = run_comparison(
+            fields=table5_fields(),
+            options=SynthesisOptions(effort=bench_effort()),
+        )
+    return _COMPARISONS
+
+
+def test_table5_flow_benchmark(benchmark, gf28_modulus):
+    """Benchmark the end-to-end flow for the proposed GF(2^8) multiplier."""
+    multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+    result = benchmark(lambda: implement(multiplier, options=SynthesisOptions(effort=bench_effort())))
+    assert result.luts > 0
+
+
+def test_table5_reproduction_and_claims(benchmark):
+    """Regenerate Table V for the configured fields and check the paper's claims."""
+    comparisons = benchmark.pedantic(_comparisons, rounds=1, iterations=1)
+
+    print("\n--- Table V (measured vs paper) ---")
+    print(compare_to_paper(comparisons))
+
+    report = claims_report(comparisons)
+    print("\nqualitative claims:")
+    print(f"  fields:                              {report['fields']}")
+    print(f"  proposed beats parenthesized [7] in: {report['proposed_beats_parenthesized']}")
+    print(f"  proposed best Area x Time in:        {report['proposed_best_area_time']}")
+    print(f"  proposed lowest delay in:            {report['proposed_lowest_delay']}")
+
+    # Claim that must hold in every field (the paper reports it for all nine):
+    # the proposed method is at least as area- and time-efficient as the
+    # parenthesized splitting of ref [7].
+    assert set(report["proposed_beats_parenthesized"]) == set(report["fields"])
+
+    # The proposed method must always be close to the best measured A x T
+    # (the paper has it winning 7 of 9 fields; our flow reproduces the
+    # winner for several fields and stays within a few percent elsewhere).
+    for comparison in comparisons:
+        best = min(row.result.area_time for row in comparison.rows)
+        proposed = comparison.row("thiswork").result.area_time
+        assert proposed <= best * 1.08
+
+
+def test_table5_area_scaling_is_roughly_quadratic():
+    """LUT counts must grow roughly with m^2, as in the paper's Table V."""
+    comparisons = _comparisons()
+    by_m = {comparison.spec.m: comparison.row("thiswork").result.luts for comparison in comparisons}
+    sizes = sorted(by_m)
+    if len(sizes) >= 2:
+        small, large = sizes[0], sizes[-1]
+        ratio = by_m[large] / by_m[small]
+        ideal = (large / small) ** 2
+        assert 0.3 * ideal <= ratio <= 1.7 * ideal

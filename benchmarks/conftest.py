@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Environment knobs
+-----------------
+``REPRO_TABLE5_FULL=1``
+    Run the Table V benchmark over all nine paper fields (several minutes in
+    pure Python) instead of the default fast subset.
+``REPRO_BENCH_EFFORT=<n>``
+    Mapping effort used by the implementation-flow benchmarks (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def table5_fields():
+    """The fields swept by the Table V benchmark (env-configurable)."""
+    if os.environ.get("REPRO_TABLE5_FULL") == "1":
+        return [(8, 2), (64, 23), (113, 4), (113, 34), (122, 49), (139, 59), (148, 72), (163, 66), (163, 68)]
+    return [(8, 2), (16, 3), (32, 11), (64, 23)]
+
+
+def bench_effort() -> int:
+    """Mapping effort for flow benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_EFFORT", "2"))
+
+
+@pytest.fixture(scope="session")
+def gf28_modulus():
+    from repro.galois import type_ii_pentanomial
+
+    return type_ii_pentanomial(8, 2)

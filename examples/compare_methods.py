@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Mini Table V: compare all six multiplier constructions on two small fields.
+
+This is the scaled-down version of the paper's main experiment (the full
+nine-field sweep lives in ``benchmarks/bench_table5_comparison.py``).  It
+prints the measured LUTs / slices / delay / Area×Time table in the paper's
+layout and then evaluates the paper's qualitative claims on the results.
+
+Run with:  python examples/compare_methods.py
+"""
+
+from repro import SynthesisOptions, claims_report, comparison_table, compare_to_paper, run_comparison
+
+
+def main() -> None:
+    comparisons = run_comparison(fields=[(8, 2), (16, 3)], options=SynthesisOptions(effort=2))
+
+    print(comparison_table(comparisons, title="Measured comparison (paper Table V layout)"))
+    print()
+    print("Side-by-side with the paper's published values (where available):")
+    print(compare_to_paper(comparisons))
+    print()
+
+    report = claims_report(comparisons)
+    print("Qualitative claims of the paper, evaluated on these measurements:")
+    print(f"  fields compared:                      {report['fields']}")
+    print(f"  proposed beats parenthesized [7] in:  {report['proposed_beats_parenthesized']}")
+    print(f"  proposed has best Area x Time in:     {report['proposed_best_area_time']}")
+    print(f"  proposed has lowest delay in:         {report['proposed_lowest_delay']}")
+
+
+if __name__ == "__main__":
+    main()

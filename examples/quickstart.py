@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's GF(2^8) multiplier, from algebra to FPGA report.
+
+Steps shown:
+1. build the paper's field GF(2^8) with f(y) = y^8 + y^4 + y^3 + y^2 + 1;
+2. print the flat coefficient expressions (paper Table IV);
+3. generate the proposed multiplier circuit and formally verify it;
+4. run the Python FPGA flow and print the LUT / slice / delay / AxT report.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    generate_multiplier,
+    implement,
+    poly_to_string,
+    render_table4,
+    type_ii_pentanomial,
+    verify_netlist,
+)
+
+
+def main() -> None:
+    modulus = type_ii_pentanomial(8, 2)
+    print(f"Field: GF(2^8) defined by f(y) = {poly_to_string(modulus)}\n")
+
+    print(render_table4(modulus))
+    print()
+
+    multiplier = generate_multiplier("thiswork", modulus)
+    report = verify_netlist(multiplier.netlist, multiplier.spec)
+    print(f"Generated: {multiplier.describe()}")
+    print(f"Formal verification: {report.summary()}\n")
+
+    result = implement(multiplier)
+    print("Implementation on the Artix-7 model:")
+    for key, value in result.as_dict().items():
+        print(f"  {key:20s} {value}")
+    print(f"\nPaper reference for this field/method: 33 LUTs, 9.77 ns, AxT = 322.41")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that editable installs keep working on environments whose setuptools/pip
+lack the ``wheel`` package needed for PEP-517 editable builds (install with
+``pip install -e . --no-build-isolation --no-use-pep517`` there).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""repro — reproduction of "Reconfigurable implementation of GF(2^m) bit-parallel multipliers".
+
+The library implements, in pure Python, everything the DATE 2018 paper by
+J. L. Imaña builds or depends on:
+
+* GF(2)[y] polynomial arithmetic, type II pentanomials and GF(2^m) fields
+  (:mod:`repro.galois`);
+* the S_i/T_i product algebra, its splitting into complete-tree terms, the
+  parenthesized and flat coefficient expressions — the paper's Tables I-IV
+  (:mod:`repro.spec`);
+* gate-level netlists with formal verification (:mod:`repro.netlist`);
+* the proposed multiplier and every comparison construction
+  (:mod:`repro.multipliers`);
+* a Python FPGA implementation flow — restructuring, k-LUT mapping, slice
+  packing and timing — standing in for ISE/XST on Artix-7
+  (:mod:`repro.synth`);
+* VHDL/Verilog emission (:mod:`repro.hdl`) and the Table V comparison
+  harness (:mod:`repro.analysis`).
+
+Quick start
+-----------
+>>> from repro import type_ii_pentanomial, generate_multiplier, implement
+>>> modulus = type_ii_pentanomial(8, 2)          # the paper's GF(2^8) field
+>>> multiplier = generate_multiplier("thiswork", modulus)
+>>> result = implement(multiplier)
+>>> result.luts > 0 and result.delay_ns > 0
+True
+"""
+
+from .analysis import (
+    PAPER_TABLE5,
+    claims_report,
+    compare_to_paper,
+    comparison_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_comparison,
+)
+from .galois import (
+    NIST_ECDSA_DEGREES,
+    PAPER_TABLE5_FIELDS,
+    FieldElement,
+    FieldSpec,
+    GF2mField,
+    field_catalog,
+    find_type_ii_pentanomials,
+    is_irreducible,
+    lookup_field,
+    poly_to_string,
+    type_ii_pentanomial,
+)
+from .hdl import multiplier_to_behavioral_vhdl, netlist_to_verilog, netlist_to_vhdl, vhdl_testbench
+from .multipliers import (
+    ALL_GENERATORS,
+    TABLE5_METHODS,
+    GeneratedMultiplier,
+    available_methods,
+    generate_multiplier,
+    get_generator,
+)
+from .netlist import (
+    Netlist,
+    gather_stats,
+    multiply_with_netlist,
+    simulate_words,
+    verify_by_simulation,
+    verify_netlist,
+)
+from .spec import ProductSpec, parenthesized_coefficients, split_coefficients, st_coefficients
+from .synth import (
+    ARTIX7,
+    DeviceModel,
+    ImplementationResult,
+    SynthesisOptions,
+    format_table,
+    implement,
+    map_to_luts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_TABLE5",
+    "claims_report",
+    "compare_to_paper",
+    "comparison_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_comparison",
+    "NIST_ECDSA_DEGREES",
+    "PAPER_TABLE5_FIELDS",
+    "FieldElement",
+    "FieldSpec",
+    "GF2mField",
+    "field_catalog",
+    "find_type_ii_pentanomials",
+    "is_irreducible",
+    "lookup_field",
+    "poly_to_string",
+    "type_ii_pentanomial",
+    "multiplier_to_behavioral_vhdl",
+    "netlist_to_verilog",
+    "netlist_to_vhdl",
+    "vhdl_testbench",
+    "ALL_GENERATORS",
+    "TABLE5_METHODS",
+    "GeneratedMultiplier",
+    "available_methods",
+    "generate_multiplier",
+    "get_generator",
+    "Netlist",
+    "gather_stats",
+    "multiply_with_netlist",
+    "simulate_words",
+    "verify_by_simulation",
+    "verify_netlist",
+    "ProductSpec",
+    "parenthesized_coefficients",
+    "split_coefficients",
+    "st_coefficients",
+    "ARTIX7",
+    "DeviceModel",
+    "ImplementationResult",
+    "SynthesisOptions",
+    "format_table",
+    "implement",
+    "map_to_luts",
+    "__version__",
+]

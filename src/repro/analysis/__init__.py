@@ -1,0 +1,51 @@
+"""Analysis layer: theoretical complexities, paper tables, Table V comparison."""
+
+from .compare import (
+    ComparisonRow,
+    FieldComparison,
+    claims_report,
+    compare_to_paper,
+    comparison_table,
+    run_comparison,
+)
+from .complexity import (
+    TheoreticalComplexity,
+    and_gate_count,
+    complexity_summary,
+    minimum_xor_depth,
+    split_scheme_complexity,
+    unshared_xor_count,
+)
+from .paper_data import PAPER_TABLE5, paper_best_area_time, paper_row
+from .tables import (
+    render_all_tables,
+    render_st_functions,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "FieldComparison",
+    "claims_report",
+    "compare_to_paper",
+    "comparison_table",
+    "run_comparison",
+    "TheoreticalComplexity",
+    "and_gate_count",
+    "complexity_summary",
+    "minimum_xor_depth",
+    "split_scheme_complexity",
+    "unshared_xor_count",
+    "PAPER_TABLE5",
+    "paper_best_area_time",
+    "paper_row",
+    "render_all_tables",
+    "render_st_functions",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,87 @@
+"""Text renderers for the paper's Tables I-IV.
+
+Each function reproduces one of the paper's expression tables for an
+arbitrary type II pentanomial field (the paper prints them for GF(2^8)).
+The strings use the same naming conventions as the paper (``S1``, ``T0^2``,
+parenthesized sums, ...) so the GF(2^8) output can be compared against the
+publication line by line — which is exactly what the golden tests and
+``benchmarks/bench_table1..4*.py`` do.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..galois.gf2poly import degree, poly_to_string
+from ..spec.parenthesize import parenthesized_coefficients
+from ..spec.reduction import split_coefficients, st_coefficients
+from ..spec.siti import all_s_functions, all_t_functions
+from ..spec.splitting import split_all_functions
+
+__all__ = [
+    "render_st_functions",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]
+
+
+def render_st_functions(modulus: int) -> str:
+    """The S_i / T_i expansions (the running example of the paper's Section II)."""
+    m = degree(modulus)
+    lines = [f"S_i and T_i functions for GF(2^{m}), f(y) = {poly_to_string(modulus)}"]
+    for function in all_s_functions(m) + all_t_functions(m):
+        lines.append("  " + function.to_string())
+    return "\n".join(lines)
+
+
+def render_table1(modulus: int) -> str:
+    """Paper Table I: coefficients of the product as sums of S_i / T_i."""
+    m = degree(modulus)
+    lines = [f"Table I - coefficients of the product for GF(2^{m}), f(y) = {poly_to_string(modulus)}"]
+    for coefficient in st_coefficients(modulus):
+        lines.append("  " + coefficient.to_string() + ";")
+    return "\n".join(lines)
+
+
+def render_table2(modulus: int) -> str:
+    """Paper Table II: the split terms S_i^j / T_i^j."""
+    m = degree(modulus)
+    lines = [f"Table II - terms S_i^j and T_i^j for GF(2^{m})"]
+    split_map = split_all_functions(m)
+    for label in [f"S{i}" for i in range(1, m + 1)] + [f"T{i}" for i in range(m - 1)]:
+        for term in split_map[label]:
+            lines.append("  " + term.to_string())
+    return "\n".join(lines)
+
+
+def render_table3(modulus: int) -> str:
+    """Paper Table III: coefficients with the parenthesized (delay-driven) splitting."""
+    m = degree(modulus)
+    lines = [f"Table III - coefficients of the product for GF(2^{m}) with splitting (parenthesized)"]
+    coefficients = parenthesized_coefficients(modulus)
+    for coefficient in coefficients:
+        lines.append("  " + coefficient.to_string() + ";")
+    worst = max(coefficient.xor_depth for coefficient in coefficients)
+    lines.append(f"  -- theoretical delay: TA + {worst}TX")
+    return "\n".join(lines)
+
+
+def render_table4(modulus: int) -> str:
+    """Paper Table IV: the proposed flat (non-parenthesized) coefficients."""
+    m = degree(modulus)
+    lines = [f"Table IV - new coefficients of the product for type II GF(2^{m})"]
+    for coefficient in split_coefficients(modulus):
+        lines.append("  " + coefficient.to_string() + ";")
+    return "\n".join(lines)
+
+
+def render_all_tables(modulus: int) -> List[str]:
+    """All four expression tables, in paper order."""
+    return [
+        render_table1(modulus),
+        render_table2(modulus),
+        render_table3(modulus),
+        render_table4(modulus),
+    ]

@@ -1,0 +1,170 @@
+"""Command-line interface: ``gf2m-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``tables``      print the paper's Tables I-IV for a field
+``methods``     list the available multiplier constructions
+``generate``    generate a multiplier, verify it and print its statistics
+``implement``   run the full FPGA flow on one multiplier
+``compare``     regenerate (part of) the paper's Table V
+``emit``        write VHDL/Verilog (and optionally a testbench) to a file
+``fields``      list the paper's field catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import claims_report, comparison_table, compare_to_paper, run_comparison
+from .analysis.tables import render_table1, render_table2, render_table3, render_table4
+from .galois.gf2poly import poly_to_string
+from .galois.pentanomials import PAPER_TABLE5_FIELDS, type_ii_pentanomial
+from .hdl.testbench import vhdl_testbench
+from .hdl.verilog import netlist_to_verilog
+from .hdl.vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
+from .multipliers.registry import TABLE5_METHODS, describe_methods, generate_multiplier
+from .synth.flow import SynthesisOptions, implement
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="gf2m-repro",
+        description="Reproduction of 'Reconfigurable implementation of GF(2^m) bit-parallel multipliers' (DATE 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_field_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("-m", type=int, default=8, help="field degree m (default 8)")
+        subparser.add_argument("-n", type=int, default=2, help="pentanomial parameter n (default 2)")
+
+    tables = subparsers.add_parser("tables", help="print the paper's Tables I-IV for a field")
+    add_field_arguments(tables)
+    tables.add_argument("--which", choices=["1", "2", "3", "4", "all"], default="all")
+
+    subparsers.add_parser("methods", help="list available multiplier constructions")
+    subparsers.add_parser("fields", help="list the paper's field catalog")
+
+    generate = subparsers.add_parser("generate", help="generate and verify one multiplier")
+    add_field_arguments(generate)
+    generate.add_argument("--method", default="thiswork", help="construction name (default thiswork)")
+
+    implement_cmd = subparsers.add_parser("implement", help="run the FPGA flow on one multiplier")
+    add_field_arguments(implement_cmd)
+    implement_cmd.add_argument("--method", default="thiswork")
+    implement_cmd.add_argument("--effort", type=int, default=2, help="mapping effort (default 2)")
+
+    compare = subparsers.add_parser("compare", help="regenerate (part of) the paper's Table V")
+    compare.add_argument(
+        "--fields",
+        default="8:2,64:23",
+        help="comma separated m:n pairs, or 'paper' for all nine paper fields",
+    )
+    compare.add_argument("--methods", default=",".join(TABLE5_METHODS))
+    compare.add_argument("--effort", type=int, default=2)
+    compare.add_argument("--paper", action="store_true", help="show paper values side by side")
+    compare.add_argument("--claims", action="store_true", help="evaluate the paper's qualitative claims")
+
+    emit = subparsers.add_parser("emit", help="emit HDL for one multiplier")
+    add_field_arguments(emit)
+    emit.add_argument("--method", default="thiswork")
+    emit.add_argument("--language", choices=["vhdl", "vhdl-behavioral", "verilog"], default="vhdl")
+    emit.add_argument("--testbench", action="store_true", help="also emit a VHDL testbench")
+    emit.add_argument("--output", default="-", help="output file (default stdout)")
+    return parser
+
+
+def _parse_fields(text: str) -> List[tuple]:
+    if text.strip().lower() == "paper":
+        return [(spec.m, spec.n) for spec in PAPER_TABLE5_FIELDS]
+    fields = []
+    for chunk in text.split(","):
+        m_text, n_text = chunk.split(":")
+        fields.append((int(m_text), int(n_text)))
+    return fields
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "methods":
+        for metadata in describe_methods():
+            print(f"{metadata['name']:<15s} {metadata['reference']:<45s} {metadata['description']}")
+        return 0
+
+    if args.command == "fields":
+        for spec in PAPER_TABLE5_FIELDS:
+            print(f"({spec.m},{spec.n})  {spec.standard or '-':<6s} {spec.modulus_string()}")
+        return 0
+
+    if args.command == "tables":
+        modulus = type_ii_pentanomial(args.m, args.n)
+        renderers = {"1": render_table1, "2": render_table2, "3": render_table3, "4": render_table4}
+        selected = renderers.values() if args.which == "all" else [renderers[args.which]]
+        for renderer in selected:
+            print(renderer(modulus))
+            print()
+        return 0
+
+    if args.command == "generate":
+        modulus = type_ii_pentanomial(args.m, args.n)
+        multiplier = generate_multiplier(args.method, modulus)
+        print(multiplier.describe())
+        print(f"modulus: {poly_to_string(modulus)}")
+        print("formally verified against the product specification: yes")
+        return 0
+
+    if args.command == "implement":
+        modulus = type_ii_pentanomial(args.m, args.n)
+        multiplier = generate_multiplier(args.method, modulus, verify=args.m <= 16)
+        result = implement(multiplier, options=SynthesisOptions(effort=args.effort))
+        for key, value in result.as_dict().items():
+            print(f"{key:20s} {value}")
+        return 0
+
+    if args.command == "compare":
+        fields = _parse_fields(args.fields)
+        methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+        comparisons = run_comparison(fields=fields, methods=methods, options=SynthesisOptions(effort=args.effort))
+        if args.paper:
+            print(compare_to_paper(comparisons))
+        else:
+            print(comparison_table(comparisons, title="Measured comparison (paper Table V layout)"))
+        if args.claims:
+            report = claims_report(comparisons)
+            print()
+            for claim, fields_holding in report.items():
+                print(f"{claim}: {fields_holding}")
+        return 0
+
+    if args.command == "emit":
+        modulus = type_ii_pentanomial(args.m, args.n)
+        multiplier = generate_multiplier(args.method, modulus, verify=args.m <= 16)
+        if args.language == "vhdl":
+            text = netlist_to_vhdl(multiplier.netlist)
+        elif args.language == "vhdl-behavioral":
+            text = multiplier_to_behavioral_vhdl(multiplier)
+        else:
+            text = netlist_to_verilog(multiplier.netlist)
+        if args.testbench:
+            text += "\n" + vhdl_testbench(modulus)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Binary field substrate: GF(2)[y] polynomials, pentanomials, GF(2^m) fields.
+
+This subpackage is the mathematical foundation of the reproduction: every
+multiplier circuit is verified against :class:`~repro.galois.field.GF2mField`,
+and every field in the paper's evaluation is described by a
+:class:`~repro.galois.pentanomials.FieldSpec` from the catalog.
+"""
+
+from .field import FieldElement, GF2mField
+from .gf2poly import (
+    clmul,
+    degree,
+    exponents,
+    from_coefficient_list,
+    from_exponents,
+    is_irreducible,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mulmod,
+    poly_powmod,
+    poly_square,
+    poly_to_string,
+    to_coefficient_list,
+    weight,
+)
+from .matrices import (
+    mastrovito_matrix,
+    matrix_vector_product,
+    multiply_with_reduction_matrix,
+    power_residues,
+    reduction_matrix,
+)
+from .pentanomials import (
+    NIST_ECDSA_DEGREES,
+    PAPER_FIELDS,
+    PAPER_TABLE5_FIELDS,
+    FieldSpec,
+    field_catalog,
+    find_type_ii_pentanomials,
+    is_type_ii_pentanomial,
+    lookup_field,
+    smallest_type_ii_pentanomial,
+    trinomial,
+    type_i_pentanomial,
+    type_ii_parameters,
+    type_ii_pentanomial,
+)
+
+__all__ = [
+    "FieldElement",
+    "GF2mField",
+    "clmul",
+    "degree",
+    "exponents",
+    "from_coefficient_list",
+    "from_exponents",
+    "is_irreducible",
+    "poly_divmod",
+    "poly_gcd",
+    "poly_mod",
+    "poly_mulmod",
+    "poly_powmod",
+    "poly_square",
+    "poly_to_string",
+    "to_coefficient_list",
+    "weight",
+    "mastrovito_matrix",
+    "matrix_vector_product",
+    "multiply_with_reduction_matrix",
+    "power_residues",
+    "reduction_matrix",
+    "NIST_ECDSA_DEGREES",
+    "PAPER_FIELDS",
+    "PAPER_TABLE5_FIELDS",
+    "FieldSpec",
+    "field_catalog",
+    "find_type_ii_pentanomials",
+    "is_type_ii_pentanomial",
+    "lookup_field",
+    "smallest_type_ii_pentanomial",
+    "trinomial",
+    "type_i_pentanomial",
+    "type_ii_parameters",
+    "type_ii_pentanomial",
+]

@@ -1,0 +1,248 @@
+"""Binary extension field GF(2^m) arithmetic in polynomial (canonical) basis.
+
+This is the functional reference model against which every generated
+multiplier circuit is verified.  Elements of GF(2^m) are represented in the
+canonical basis ``{1, x, ..., x^(m-1)}`` and stored as integers whose bit
+``i`` is the coordinate ``a_i``.
+
+The implementation is deliberately straightforward (multiply then reduce);
+its job is correctness, not speed — the *circuits* produced by
+:mod:`repro.multipliers` are the objects whose structure matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .gf2poly import (
+    clmul,
+    degree,
+    is_irreducible,
+    poly_mod,
+    poly_powmod,
+    poly_to_string,
+)
+from .pentanomials import type_ii_parameters
+
+__all__ = ["GF2mField", "FieldElement"]
+
+
+class GF2mField:
+    """The binary extension field GF(2^m) defined by an irreducible polynomial.
+
+    Parameters
+    ----------
+    modulus:
+        The defining polynomial ``f(y)`` encoded as an integer (bit ``i`` is
+        the coefficient of ``y^i``).  Its degree determines ``m``.
+    check_irreducible:
+        When true (default) the constructor verifies irreducibility with
+        Rabin's test and raises ``ValueError`` otherwise.  Reduction-based
+        multiplication is well defined for any modulus, so callers that only
+        need the ring structure (e.g. experimental pentanomials) may disable
+        the check.
+
+    Examples
+    --------
+    >>> field = GF2mField(0b100011101)      # y^8+y^4+y^3+y^2+1, the paper's GF(2^8)
+    >>> field.m
+    8
+    >>> (field(0x57) * field(0x83)).value == field.multiply(0x57, 0x83)
+    True
+    """
+
+    def __init__(self, modulus: int, check_irreducible: bool = True) -> None:
+        m = degree(modulus)
+        if m < 1:
+            raise ValueError("the field modulus must have degree >= 1")
+        if check_irreducible and not is_irreducible(modulus):
+            raise ValueError(
+                f"{poly_to_string(modulus)} is not irreducible over GF(2); "
+                "pass check_irreducible=False to build the quotient ring anyway"
+            )
+        self._modulus = modulus
+        self._m = m
+        self._irreducible = is_irreducible(modulus) if not check_irreducible else True
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def modulus(self) -> int:
+        """The defining polynomial ``f(y)`` as an integer."""
+        return self._modulus
+
+    @property
+    def m(self) -> int:
+        """The extension degree ``m``."""
+        return self._m
+
+    @property
+    def order(self) -> int:
+        """The number of field elements, ``2^m``."""
+        return 1 << self._m
+
+    @property
+    def is_field(self) -> bool:
+        """True when the modulus is irreducible (so inverses exist)."""
+        return self._irreducible
+
+    def modulus_string(self) -> str:
+        """The defining polynomial rendered as text."""
+        return poly_to_string(self._modulus)
+
+    def type_ii_parameters(self) -> Optional[tuple]:
+        """``(m, n)`` when the modulus is a type II pentanomial, else ``None``."""
+        return type_ii_parameters(self._modulus)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF2mField(m={self._m}, f={self.modulus_string()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GF2mField) and other._modulus == self._modulus
+
+    def __hash__(self) -> int:
+        return hash(("GF2mField", self._modulus))
+
+    # ------------------------------------------------------------- arithmetic
+    def _check(self, value: int) -> int:
+        if not 0 <= value < self.order:
+            raise ValueError(f"0x{value:x} is not a valid GF(2^{self._m}) element")
+        return value
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (bitwise XOR of coordinates)."""
+        return self._check(a) ^ self._check(b)
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication: carry-less product reduced modulo ``f``."""
+        return poly_mod(clmul(self._check(a), self._check(b)), self._modulus)
+
+    def square(self, a: int) -> int:
+        """Field squaring (a linear map over GF(2))."""
+        return self.multiply(a, a)
+
+    def power(self, a: int, exponent: int) -> int:
+        """Raise ``a`` to a non-negative integer power."""
+        if exponent < 0:
+            return self.power(self.inverse(a), -exponent)
+        return poly_powmod(self._check(a), exponent, self._modulus) if a else (1 if exponent == 0 else 0)
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via Fermat's little theorem (``a^(2^m - 2)``)."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        if not self._irreducible:
+            raise ValueError("inverses are only defined when the modulus is irreducible")
+        return self.power(a, self.order - 2)
+
+    def trace(self, a: int) -> int:
+        """Absolute trace Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1)) in GF(2)."""
+        self._check(a)
+        total = 0
+        current = a
+        for _ in range(self._m):
+            total ^= current
+            current = self.square(current)
+        # The trace of any element lies in GF(2) = {0, 1}.
+        return total & 1
+
+    # ------------------------------------------------------------- conversion
+    def coordinates(self, a: int) -> List[int]:
+        """Return the canonical-basis coordinates ``[a_0, ..., a_(m-1)]``."""
+        self._check(a)
+        return [(a >> i) & 1 for i in range(self._m)]
+
+    def from_coordinates(self, coordinates: List[int]) -> int:
+        """Build an element from canonical-basis coordinates (low bit first)."""
+        if len(coordinates) > self._m:
+            raise ValueError(f"expected at most {self._m} coordinates, got {len(coordinates)}")
+        value = 0
+        for i, coordinate in enumerate(coordinates):
+            if coordinate & 1:
+                value |= 1 << i
+        return value
+
+    def elements(self) -> Iterator["FieldElement"]:
+        """Iterate over every field element (use only for small ``m``)."""
+        for value in range(self.order):
+            yield FieldElement(self, value)
+
+    def random_element(self, rng) -> "FieldElement":
+        """Draw a uniformly random element using ``rng`` (a ``random.Random``)."""
+        return FieldElement(self, rng.getrandbits(self._m) % self.order)
+
+    def __call__(self, value: int) -> "FieldElement":
+        """Wrap an integer as a :class:`FieldElement` of this field."""
+        return FieldElement(self, self._check(value))
+
+
+@dataclass(frozen=True)
+class FieldElement:
+    """An element of a :class:`GF2mField` supporting operator syntax.
+
+    The element is immutable; arithmetic returns new elements.  Mixing
+    elements of different fields raises ``ValueError``.
+    """
+
+    field: GF2mField
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < self.field.order:
+            raise ValueError(f"0x{self.value:x} is not a valid element of {self.field!r}")
+
+    def _coerce(self, other) -> "FieldElement":
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise ValueError("cannot mix elements of different fields")
+            return other
+        if isinstance(other, int):
+            return FieldElement(self.field, other)
+        raise TypeError(f"cannot combine FieldElement with {type(other).__name__}")
+
+    def __add__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(self.field, self.field.add(self.value, other.value))
+
+    __radd__ = __add__
+    __sub__ = __add__  # Characteristic 2: subtraction equals addition.
+    __rsub__ = __add__
+
+    def __mul__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return FieldElement(self.field, self.field.multiply(self.value, other.value))
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        return FieldElement(self.field, self.field.power(self.value, exponent))
+
+    def __truediv__(self, other) -> "FieldElement":
+        other = self._coerce(other)
+        return self * other.inverse()
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse of this element."""
+        return FieldElement(self.field, self.field.inverse(self.value))
+
+    def square(self) -> "FieldElement":
+        """The square of this element."""
+        return FieldElement(self.field, self.field.square(self.value))
+
+    def trace(self) -> int:
+        """Absolute trace (an element of GF(2), returned as 0 or 1)."""
+        return self.field.trace(self.value)
+
+    def coordinates(self) -> List[int]:
+        """Canonical-basis coordinates ``[a_0, ..., a_(m-1)]``."""
+        return self.field.coordinates(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FieldElement(GF(2^{self.field.m}), 0x{self.value:x})"

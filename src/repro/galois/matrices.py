@@ -1,0 +1,157 @@
+"""Reduction and Mastrovito product matrices for GF(2^m) multiplication.
+
+Classic two-step polynomial basis multiplication computes the degree-(2m-2)
+product ``D(y) = A(y)·B(y)`` and then reduces it modulo the defining
+polynomial ``f(y)``.  Because reduction is GF(2)-linear it can be written as
+a matrix:
+
+    c = d_low + R^T · d_high
+
+where ``d_low = (d_0 .. d_(m-1))``, ``d_high = (d_m .. d_(2m-2))`` and row
+``i`` of the *reduction matrix* ``R`` holds the coordinates of
+``y^(m+i) mod f(y)``.
+
+Mastrovito's construction folds the two steps into a single ``m × m`` product
+matrix ``M(A)`` such that ``c = M(A) · b``.  Both forms are provided here;
+the circuit generators and the symbolic :class:`~repro.spec.product_spec.ProductSpec`
+are all derived from the reduction matrix, so this module is the single
+source of truth for how coefficients of the product are composed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .gf2poly import degree, poly_mod
+
+__all__ = [
+    "power_residues",
+    "reduction_matrix",
+    "reduction_rows_as_masks",
+    "mastrovito_matrix",
+    "multiply_with_reduction_matrix",
+    "matrix_vector_product",
+]
+
+
+def power_residues(modulus: int, highest_power: int | None = None) -> List[int]:
+    """Return ``y^k mod f`` for ``k = m .. highest_power`` as bit masks.
+
+    ``highest_power`` defaults to ``2m - 2``, the highest degree reached by
+    the product of two degree-(m-1) polynomials.
+
+    >>> [hex(r) for r in power_residues(0b100011101, 9)]
+    ['0x1d', '0x3a']
+    """
+    m = degree(modulus)
+    if m < 1:
+        raise ValueError("the modulus must have degree >= 1")
+    if highest_power is None:
+        highest_power = 2 * m - 2
+    if highest_power < m:
+        return []
+    residues = []
+    current = poly_mod(1 << m, modulus)
+    residues.append(current)
+    for _ in range(m + 1, highest_power + 1):
+        current <<= 1
+        if current >> m & 1:
+            current = (current ^ (1 << m)) ^ poly_mod(1 << m, modulus)
+        residues.append(current)
+    return residues
+
+
+def reduction_matrix(modulus: int) -> List[List[int]]:
+    """Return the ``(m-1) × m`` reduction matrix ``R`` over GF(2).
+
+    ``R[i][k]`` is the coefficient of ``y^k`` in ``y^(m+i) mod f(y)``, i.e.
+    the contribution of the high product coefficient ``d_(m+i)`` to the
+    output coefficient ``c_k``.
+
+    >>> R = reduction_matrix(0b1011)           # y^3 + y + 1
+    >>> R
+    [[1, 1, 0], [0, 1, 1]]
+    """
+    m = degree(modulus)
+    residues = power_residues(modulus)
+    return [[(residue >> k) & 1 for k in range(m)] for residue in residues]
+
+
+def reduction_rows_as_masks(modulus: int) -> List[int]:
+    """Return the reduction matrix rows packed as integers (bit ``k`` = column ``k``)."""
+    return list(power_residues(degree(modulus) and modulus))
+
+
+def mastrovito_matrix(modulus: int, a_coordinates: Sequence[int]) -> List[List[int]]:
+    """Build the Mastrovito product matrix ``M(A)`` for a concrete operand ``A``.
+
+    ``M`` is ``m × m`` over GF(2) and satisfies ``c = M · b`` where ``b`` and
+    ``c`` are coordinate column vectors.  Row ``k`` collects, for each ``j``,
+    the parity of the set of partial products ``a_i·b_j`` that reach ``c_k``.
+
+    >>> M = mastrovito_matrix(0b1011, [1, 0, 1])        # A = 1 + y^2 in GF(2^3)
+    >>> M
+    [[1, 1, 0], [0, 0, 1], [1, 0, 0]]
+    """
+    m = degree(modulus)
+    if len(a_coordinates) != m:
+        raise ValueError(f"expected {m} coordinates for A, got {len(a_coordinates)}")
+    rows = reduction_matrix(modulus)
+    matrix = [[0] * m for _ in range(m)]
+    for i, a_i in enumerate(a_coordinates):
+        if not a_i & 1:
+            continue
+        for j in range(m):
+            deg = i + j
+            if deg < m:
+                matrix[deg][j] ^= 1
+            else:
+                row = rows[deg - m]
+                for k in range(m):
+                    if row[k]:
+                        matrix[k][j] ^= 1
+    return matrix
+
+
+def matrix_vector_product(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> List[int]:
+    """Multiply a GF(2) matrix by a GF(2) column vector (lists of 0/1)."""
+    if matrix and len(matrix[0]) != len(vector):
+        raise ValueError(f"matrix has {len(matrix[0])} columns but the vector has {len(vector)} entries")
+    result = []
+    for row in matrix:
+        acc = 0
+        for entry, value in zip(row, vector):
+            acc ^= entry & value
+        result.append(acc)
+    return result
+
+
+def multiply_with_reduction_matrix(modulus: int, a: int, b: int) -> int:
+    """Multiply two field elements using the explicit matrix formulation.
+
+    This is a second, independent implementation of GF(2^m) multiplication
+    (the first being :meth:`repro.galois.field.GF2mField.multiply`); the test
+    suite cross-checks the two.
+    """
+    m = degree(modulus)
+    a_bits = [(a >> i) & 1 for i in range(m)]
+    b_bits = [(b >> i) & 1 for i in range(m)]
+    # Plain polynomial product coefficients d_0 .. d_(2m-2).
+    d = [0] * (2 * m - 1)
+    for i in range(m):
+        if not a_bits[i]:
+            continue
+        for j in range(m):
+            d[i + j] ^= a_bits[i] & b_bits[j]
+    rows = reduction_matrix(modulus)
+    c = d[:m]
+    for i, row in enumerate(rows):
+        if not d[m + i]:
+            continue
+        for k in range(m):
+            c[k] ^= row[k]
+    value = 0
+    for k, bit in enumerate(c):
+        if bit:
+            value |= 1 << k
+    return value

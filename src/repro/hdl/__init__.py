@@ -1,0 +1,13 @@
+"""HDL emitters (VHDL, Verilog, testbenches) for generated multipliers."""
+
+from .testbench import reference_vectors, vhdl_testbench
+from .verilog import netlist_to_verilog
+from .vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
+
+__all__ = [
+    "reference_vectors",
+    "vhdl_testbench",
+    "netlist_to_verilog",
+    "multiplier_to_behavioral_vhdl",
+    "netlist_to_vhdl",
+]

@@ -1,0 +1,39 @@
+"""Bit-parallel GF(2^m) multiplier constructions (the paper's method and baselines)."""
+
+from .base import GeneratedMultiplier, MultiplierGenerator, OperandNodes
+from .imana2012 import Imana2012Multiplier
+from .imana2016 import Imana2016Multiplier
+from .paar import PaarMultiplier
+from .rashidi import RashidiMultiplier
+from .registry import (
+    ALL_GENERATORS,
+    TABLE5_METHODS,
+    available_methods,
+    describe_methods,
+    generate_multiplier,
+    get_generator,
+)
+from .reyhani_hasan import ReyhaniHasanMultiplier
+from .rodriguez_koc import RodriguezKocMultiplier
+from .schoolbook import SchoolbookMultiplier
+from .thiswork import ThisWorkMultiplier
+
+__all__ = [
+    "GeneratedMultiplier",
+    "MultiplierGenerator",
+    "OperandNodes",
+    "Imana2012Multiplier",
+    "Imana2016Multiplier",
+    "PaarMultiplier",
+    "RashidiMultiplier",
+    "ALL_GENERATORS",
+    "TABLE5_METHODS",
+    "available_methods",
+    "describe_methods",
+    "generate_multiplier",
+    "get_generator",
+    "ReyhaniHasanMultiplier",
+    "RodriguezKocMultiplier",
+    "SchoolbookMultiplier",
+    "ThisWorkMultiplier",
+]

@@ -1,0 +1,49 @@
+"""S_i / T_i multiplier — ref [6] (Imaña 2012), the paper's Table I scheme.
+
+Each S_i and T_i function is built *monolithically*: a single binary XOR
+tree over all of its partial products (the construction described in
+Section II of the paper — "binary trees of 2-input XOR gates with a lower
+level of 2-input AND gates").  Every output coefficient is then the balanced
+XOR of the functions listed in Table I.
+
+Because the functions are shared between outputs, the area is low; but the
+monolithic trees cannot merge across function boundaries, so the critical
+path is one level longer than the split/parenthesized scheme of ref [7]
+(``T_A + 6·T_X`` vs ``T_A + 5·T_X`` for GF(2^8)), exactly as the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..galois.gf2poly import degree
+from ..netlist.netlist import Netlist
+from ..spec.reduction import st_coefficients
+from ..spec.siti import st_functions
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["Imana2012Multiplier"]
+
+
+class Imana2012Multiplier(MultiplierGenerator):
+    """Monolithic S_i/T_i function trees combined per Table I (ref [6])."""
+
+    name = "imana2012"
+    reference = "[6] Imana 2012 (IEEE TCAS-II)"
+    description = "monolithic balanced trees for each S_i/T_i, outputs sum whole functions"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        m = degree(modulus)
+        functions = st_functions(m)
+        function_nodes: Dict[str, int] = {}
+        for label, function in functions.items():
+            # The formulas of ref [6] are written over x_k and z_i^j terms, so
+            # the z sums (a_i b_j + a_j b_i) are formed first and the function
+            # tree is balanced over those atom signals.
+            atoms: List[int] = [self.build_atom(netlist, operands, atom) for atom in function.atoms]
+            function_nodes[label] = netlist.xor_reduce(atoms, style="balanced")
+        for coefficient in st_coefficients(modulus):
+            terms = [function_nodes[label] for label in coefficient.labels]
+            netlist.add_output(f"c{coefficient.k}", netlist.xor_reduce(terms, style="balanced"))

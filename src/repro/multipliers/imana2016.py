@@ -1,0 +1,52 @@
+"""Split S_i^j / T_i^j multiplier with parenthesized restrictions — ref [7].
+
+This is the scheme of Imaña 2016 that the paper uses as its main structural
+baseline (Table III):
+
+* every split term ``S_i^j`` / ``T_i^j`` is a complete binary XOR tree of
+  depth ``j`` (shared between all outputs that use it), and
+* each output coefficient combines its split terms following the
+  *parenthesized, equal-depth pairing* that minimises the number of XOR
+  levels (``T_A + 5·T_X`` for GF(2^8)).
+
+The association structure is fixed by :mod:`repro.spec.parenthesize`; the
+netlist reproduces it literally, and the generator marks the circuit as
+*not* restructurable so the synthesis flow maps those rigid trees exactly as
+written — modelling the "hard restrictions" that, per the paper's Table V,
+prevent the synthesis tool from finding a better LUT mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..netlist.netlist import Netlist
+from ..spec.parenthesize import PairTree, parenthesized_coefficients
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["Imana2016Multiplier"]
+
+
+class Imana2016Multiplier(MultiplierGenerator):
+    """Split terms combined with the rigid equal-depth parenthesization (ref [7])."""
+
+    name = "imana2016"
+    reference = "[7] Imana 2016 (IEEE TCAS-I)"
+    description = "complete-tree split terms added in parenthesized equal-depth pairs"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        term_nodes: Dict[str, int] = {}
+
+        def build_tree(tree: PairTree) -> int:
+            if tree.is_leaf:
+                label = tree.term.label
+                if label not in term_nodes:
+                    term_nodes[label] = self.build_split_term(netlist, operands, tree.term)
+                return term_nodes[label]
+            left = build_tree(tree.left)
+            right = build_tree(tree.right)
+            return netlist.xor2(left, right)
+
+        for coefficient in parenthesized_coefficients(modulus):
+            netlist.add_output(f"c{coefficient.k}", build_tree(coefficient.tree))

@@ -1,0 +1,49 @@
+"""Mastrovito-style multiplier with shared product coefficients — ref [2] (Paar).
+
+Paar's thesis architecture computes the product matrix / convolution
+coefficients once and shares them aggressively between output bits.  We
+model it as:
+
+* the plain product coefficients ``d_t`` are built as balanced XOR trees and
+  shared by every output that needs them (this is the dominant sharing in
+  the construction), and
+* each output coefficient accumulates ``d_k`` and its reduction terms with a
+  linear chain, reflecting the row-by-row accumulation of the matrix form.
+
+The resulting structural complexity (low area thanks to full sharing of the
+``d_t`` network, delay one or two XOR levels above the tree-based schemes)
+matches the relative position ref [2] occupies in the paper's Table V.
+"""
+
+from __future__ import annotations
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from ..netlist.netlist import Netlist
+from ..spec.siti import convolution_pairs
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["PaarMultiplier"]
+
+
+class PaarMultiplier(MultiplierGenerator):
+    """Shared-convolution Mastrovito multiplier in the style of Paar's thesis."""
+
+    name = "paar"
+    reference = "[2] Paar 1994"
+    description = "shared balanced trees for the convolution, chained reduction accumulation"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        m = degree(modulus)
+        d_nodes = []
+        for t in range(2 * m - 1):
+            products = self.build_products_for_pairs(netlist, operands, convolution_pairs(m, t))
+            d_nodes.append(netlist.xor_reduce(products, style="balanced"))
+        rows = reduction_matrix(modulus)
+        for k in range(m):
+            accumulator = d_nodes[k]
+            for i, row in enumerate(rows):
+                if row[k]:
+                    accumulator = netlist.xor2(accumulator, d_nodes[m + i])
+            netlist.add_output(f"c{k}", accumulator)

@@ -1,0 +1,85 @@
+"""Registry of multiplier constructions.
+
+The registry maps short method names to generator classes and records the
+row order of the paper's Table V so the comparison harness can reproduce it
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import GeneratedMultiplier, MultiplierGenerator
+from .imana2012 import Imana2012Multiplier
+from .imana2016 import Imana2016Multiplier
+from .paar import PaarMultiplier
+from .rashidi import RashidiMultiplier
+from .reyhani_hasan import ReyhaniHasanMultiplier
+from .rodriguez_koc import RodriguezKocMultiplier
+from .schoolbook import SchoolbookMultiplier
+from .thiswork import ThisWorkMultiplier
+
+__all__ = [
+    "ALL_GENERATORS",
+    "TABLE5_METHODS",
+    "available_methods",
+    "get_generator",
+    "generate_multiplier",
+    "describe_methods",
+]
+
+#: Every construction known to the library, keyed by its short name.
+ALL_GENERATORS: Dict[str, Type[MultiplierGenerator]] = {
+    generator.name: generator
+    for generator in (
+        SchoolbookMultiplier,
+        PaarMultiplier,
+        ReyhaniHasanMultiplier,
+        RashidiMultiplier,
+        Imana2012Multiplier,
+        Imana2016Multiplier,
+        ThisWorkMultiplier,
+        RodriguezKocMultiplier,
+    )
+}
+
+#: The six methods compared in the paper's Table V, in the paper's row order:
+#: [2] Paar, [8] Rashidi, [3] Reyhani-Masoleh/Hasan, [6] Imana 2012,
+#: [7] Imana 2016 (parenthesized), and the proposed method ("This work").
+TABLE5_METHODS: List[str] = [
+    "paar",
+    "rashidi",
+    "reyhani_hasan",
+    "imana2012",
+    "imana2016",
+    "thiswork",
+]
+
+
+def available_methods() -> List[str]:
+    """All registered method names, registry order."""
+    return list(ALL_GENERATORS)
+
+
+def get_generator(name: str) -> MultiplierGenerator:
+    """Instantiate the generator registered under ``name``.
+
+    >>> get_generator("thiswork").name
+    'thiswork'
+    """
+    try:
+        return ALL_GENERATORS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown multiplier method {name!r}; available: {', '.join(ALL_GENERATORS)}"
+        ) from None
+
+
+def generate_multiplier(method: str, modulus: int, verify: bool = True) -> GeneratedMultiplier:
+    """Convenience wrapper: look up a generator and run it on ``modulus``."""
+    return get_generator(method).generate(modulus, verify=verify)
+
+
+def describe_methods() -> List[Dict[str, str]]:
+    """Metadata of every registered construction (for the CLI and docs)."""
+    return [generator.metadata() for generator in ALL_GENERATORS.values()]

@@ -1,0 +1,44 @@
+"""Low-complexity polynomial basis multiplier — ref [3] (Reyhani-Masoleh & Hasan 2004).
+
+The construction separates an *inner-product network* (the convolution
+coefficients ``d_t``, shared across outputs and built as balanced XOR trees)
+from a *reduction network* that combines ``d_k`` with the required high
+coefficients, also as balanced trees.  Compared with the chained
+accumulation modelled for ref [2] this trades a few extra XOR gates in the
+reduction network for a shallower critical path, which is how ref [3]
+behaves in the paper's Table V (usually the lowest LUT count of the
+baselines and competitive delay).
+"""
+
+from __future__ import annotations
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from ..netlist.netlist import Netlist
+from ..spec.siti import convolution_pairs
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["ReyhaniHasanMultiplier"]
+
+
+class ReyhaniHasanMultiplier(MultiplierGenerator):
+    """Inner-product network + balanced reduction network (ref [3])."""
+
+    name = "reyhani_hasan"
+    reference = "[3] Reyhani-Masoleh & Hasan 2004"
+    description = "shared balanced convolution trees with a balanced reduction network"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        m = degree(modulus)
+        d_nodes = []
+        for t in range(2 * m - 1):
+            products = self.build_products_for_pairs(netlist, operands, convolution_pairs(m, t))
+            d_nodes.append(netlist.xor_reduce(products, style="balanced"))
+        rows = reduction_matrix(modulus)
+        for k in range(m):
+            terms = [d_nodes[k]]
+            for i, row in enumerate(rows):
+                if row[k]:
+                    terms.append(d_nodes[m + i])
+            netlist.add_output(f"c{k}", netlist.xor_reduce(terms, style="balanced"))

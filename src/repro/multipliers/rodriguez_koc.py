@@ -1,0 +1,75 @@
+"""Parallel multiplier for special irreducible pentanomials — ref [5].
+
+Rodríguez-Henríquez and Koç's construction exploits the structure of special
+(including type II) pentanomials: the convolution coefficients are computed
+once, and the reduction is organised around the pentanomial's four non-zero
+low-order terms, folding the high half onto columns ``0, n, n+1, n+2`` and
+re-folding the small overflow that spills past degree ``m`` a second time.
+
+We model that organisation explicitly: balanced shared convolution trees,
+then per-column *group sums* of consecutive high coefficients (the quantities
+the original paper shares between outputs) followed by a short balanced
+combination per output.  The generator is an extra baseline beyond the
+paper's Table V rows, mainly used by the ablation benchmarks and the tests;
+it requires a type II pentanomial modulus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from ..netlist.netlist import Netlist
+from ..spec.siti import convolution_pairs
+from ..galois.pentanomials import type_ii_parameters
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["RodriguezKocMultiplier"]
+
+
+class RodriguezKocMultiplier(MultiplierGenerator):
+    """Pentanomial-specialised reduction with shared column group sums (ref [5])."""
+
+    name = "rodriguez_koc"
+    reference = "[5] Rodriguez-Henriquez & Koc 2003"
+    description = "shared convolution trees with pentanomial column-grouped reduction sums"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        if type_ii_parameters(modulus) is None:
+            raise ValueError(
+                "the Rodriguez-Henriquez/Koc generator models the special-pentanomial "
+                "construction and requires a type II pentanomial modulus"
+            )
+        m = degree(modulus)
+        d_nodes: List[int] = []
+        for t in range(2 * m - 1):
+            products = self.build_products_for_pairs(netlist, operands, convolution_pairs(m, t))
+            d_nodes.append(netlist.xor_reduce(products, style="balanced"))
+
+        # Group the reduction contributions of each output column into runs of
+        # consecutive high coefficients; identical runs are shared between
+        # outputs via structural hashing.
+        rows = reduction_matrix(modulus)
+        group_cache: Dict[Tuple[int, ...], int] = {}
+
+        def group_sum(indices: Tuple[int, ...]) -> int:
+            if indices not in group_cache:
+                group_cache[indices] = netlist.xor_reduce(
+                    [d_nodes[m + i] for i in indices], style="balanced"
+                )
+            return group_cache[indices]
+
+        for k in range(m):
+            sources = [i for i, row in enumerate(rows) if row[k]]
+            terms = [d_nodes[k]]
+            run: List[int] = []
+            for index in sources:
+                if run and index != run[-1] + 1:
+                    terms.append(group_sum(tuple(run)))
+                    run = []
+                run.append(index)
+            if run:
+                terms.append(group_sum(tuple(run)))
+            netlist.add_output(f"c{k}", netlist.xor_reduce(terms, style="balanced"))

@@ -1,0 +1,45 @@
+"""Classic two-step (schoolbook + reduction) multiplier — Mastrovito's starting point.
+
+This is the textbook construction (ref [1] folds it into a matrix, but the
+gate-level content is the same): compute every coefficient ``d_t`` of the
+plain polynomial product with a ripple chain of XOR gates, then reduce the
+high half onto the low half with further chains.  It is deliberately naive —
+linear XOR chains instead of trees — and serves as the "no cleverness"
+baseline that every other construction is compared against in the tests and
+the ablation benchmarks (it is not one of the Table V rows).
+"""
+
+from __future__ import annotations
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from ..netlist.netlist import Netlist
+from ..spec.siti import convolution_pairs
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["SchoolbookMultiplier"]
+
+
+class SchoolbookMultiplier(MultiplierGenerator):
+    """Two-step schoolbook multiplication with ripple XOR chains."""
+
+    name = "schoolbook"
+    reference = "[1] Mastrovito 1988 (two-step formulation)"
+    description = "plain convolution then modular reduction, all sums as linear XOR chains"
+    restructure_allowed = False
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        m = degree(modulus)
+        # Step 1: plain product coefficients d_0 .. d_(2m-2), each a ripple chain.
+        d_nodes = []
+        for t in range(2 * m - 1):
+            products = self.build_products_for_pairs(netlist, operands, convolution_pairs(m, t))
+            d_nodes.append(netlist.xor_reduce(products, style="chain"))
+        # Step 2: reduction, c_k = d_k + sum of selected high coefficients.
+        rows = reduction_matrix(modulus)
+        for k in range(m):
+            terms = [d_nodes[k]]
+            for i, row in enumerate(rows):
+                if row[k]:
+                    terms.append(d_nodes[m + i])
+            netlist.add_output(f"c{k}", netlist.xor_reduce(terms, style="chain"))

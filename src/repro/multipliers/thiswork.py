@@ -1,0 +1,46 @@
+"""The paper's proposed multiplier: split terms, no parenthesized restrictions.
+
+This is the DATE 2018 contribution (Table IV): keep the splitting of the
+S_i / T_i functions into complete-binary-tree terms ``S_i^j`` / ``T_i^j``
+(shared between outputs), but express every output coefficient as a *flat*
+XOR of those terms with no prescribed association.  In the paper the flat
+VHDL expressions give the Xilinx XST synthesiser the freedom to re-associate
+and share the XOR logic during technology mapping; here the generated
+netlist carries ``restructure_allowed = True`` so the Python synthesis flow
+applies the equivalent freedom (re-balancing and cross-output sharing over
+the shared split-term signals) before LUT mapping.
+
+The raw netlist intentionally uses simple left-to-right chains for the flat
+sums — mirroring the way the un-parenthesized VHDL is written — because the
+whole point of the method is that the *mapper*, not the RTL author, chooses
+the final structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..netlist.netlist import Netlist
+from ..spec.reduction import split_coefficients
+from .base import MultiplierGenerator, OperandNodes
+
+__all__ = ["ThisWorkMultiplier"]
+
+
+class ThisWorkMultiplier(MultiplierGenerator):
+    """Flat (non-parenthesized) split-term multiplier — the proposed method."""
+
+    name = "thiswork"
+    reference = "This work (Imana, DATE 2018)"
+    description = "flat sums of shared split terms; synthesis flow free to restructure"
+    restructure_allowed = True
+
+    def build(self, netlist: Netlist, modulus: int, operands: OperandNodes) -> None:
+        term_nodes: Dict[str, int] = {}
+        for coefficient in split_coefficients(modulus):
+            operands_nodes = []
+            for term in coefficient.terms:
+                if term.label not in term_nodes:
+                    term_nodes[term.label] = self.build_split_term(netlist, operands, term)
+                operands_nodes.append(term_nodes[term.label])
+            netlist.add_output(f"c{coefficient.k}", netlist.xor_reduce(operands_nodes, style="chain"))

@@ -1,0 +1,46 @@
+"""Graphviz DOT export for netlists (debugging and documentation aid)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+
+__all__ = ["to_dot"]
+
+_SHAPES = {OP_INPUT: "ellipse", OP_CONST0: "plaintext", OP_AND: "box", OP_XOR: "diamond"}
+_LABELS = {OP_AND: "AND", OP_XOR: "XOR", OP_CONST0: "0"}
+
+
+def to_dot(netlist: Netlist, max_nodes: Optional[int] = 2000) -> str:
+    """Render the live portion of a netlist as a Graphviz DOT string.
+
+    ``max_nodes`` guards against accidentally dumping a GF(2^163) multiplier
+    into a viewer; pass ``None`` to disable the limit.
+    """
+    live = netlist.live_nodes()
+    if max_nodes is not None and len(live) > max_nodes:
+        raise ValueError(
+            f"netlist has {len(live)} live nodes which exceeds max_nodes={max_nodes}; "
+            "pass max_nodes=None to export anyway"
+        )
+    lines = [f'digraph "{netlist.name or "netlist"}" {{', "  rankdir=BT;"]
+    live_set = set(live)
+    for node in live:
+        op = netlist.op(node)
+        if op == OP_INPUT:
+            label = netlist.input_name(node)
+        else:
+            label = _LABELS.get(op, "?")
+        lines.append(f'  n{node} [label="{label}", shape={_SHAPES[op]}];')
+        if op in (OP_AND, OP_XOR):
+            fanin0, fanin1 = netlist.fanins(node)
+            if fanin0 in live_set:
+                lines.append(f"  n{fanin0} -> n{node};")
+            if fanin1 in live_set:
+                lines.append(f"  n{fanin1} -> n{node};")
+    for name, node in netlist.outputs:
+        lines.append(f'  out_{name} [label="{name}", shape=ellipse, style=bold];')
+        lines.append(f"  n{node} -> out_{name};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Gate-level netlist IR for bit-parallel GF(2^m) multipliers.
+
+The circuits generated in this project are XOR/AND networks (XAGs): a plane
+of 2-input AND gates producing partial products, topped by trees of 2-input
+XOR gates.  The :class:`Netlist` class stores such a network compactly in
+parallel arrays (node ids are dense integers in topological order) with
+structural hashing, so that building the GF(2^163) multipliers of the paper
+(tens of thousands of gates) stays cheap in pure Python.
+
+Design notes
+------------
+* Nodes are created in topological order by construction (a gate's fanins
+  must already exist), so ``range(node_count)`` is a valid topological order.
+* Structural hashing canonicalises commutative fanins and applies the
+  trivial simplifications ``x XOR x = 0``, ``x XOR 0 = x``, ``x AND 0 = 0``
+  and ``x AND x = x``.
+* ``attributes`` carries generator metadata — most importantly
+  ``restructure_allowed`` which tells the synthesis flow whether it may
+  re-associate the XOR network (the paper's "give XST freedom" knob).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["OP_INPUT", "OP_CONST0", "OP_AND", "OP_XOR", "OP_NAMES", "Netlist"]
+
+OP_INPUT = 0
+OP_CONST0 = 1
+OP_AND = 2
+OP_XOR = 3
+
+OP_NAMES = {OP_INPUT: "input", OP_CONST0: "const0", OP_AND: "and", OP_XOR: "xor"}
+
+
+class Netlist:
+    """A combinational XOR/AND netlist with named inputs and outputs."""
+
+    def __init__(self, name: str = "", attributes: Optional[dict] = None) -> None:
+        self.name = name
+        self.attributes: dict = dict(attributes or {})
+        self._ops: List[int] = []
+        self._fanin0: List[int] = []
+        self._fanin1: List[int] = []
+        self._input_ids: Dict[str, int] = {}
+        self._node_names: Dict[int, str] = {}
+        self._strash: Dict[Tuple[int, int, int], int] = {}
+        self._outputs: List[Tuple[str, int]] = []
+        self._const0: Optional[int] = None
+
+    # ------------------------------------------------------------ construction
+    def _new_node(self, op: int, fanin0: int, fanin1: int) -> int:
+        node = len(self._ops)
+        self._ops.append(op)
+        self._fanin0.append(fanin0)
+        self._fanin1.append(fanin1)
+        return node
+
+    def add_input(self, name: str) -> int:
+        """Create (or return the existing) primary input with the given name."""
+        if name in self._input_ids:
+            return self._input_ids[name]
+        node = self._new_node(OP_INPUT, -1, -1)
+        self._input_ids[name] = node
+        self._node_names[node] = name
+        return node
+
+    def const0(self) -> int:
+        """Return the constant-0 node, creating it on first use."""
+        if self._const0 is None:
+            self._const0 = self._new_node(OP_CONST0, -1, -1)
+        return self._const0
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self._ops):
+            raise ValueError(f"node {node} does not exist")
+
+    def and2(self, a: int, b: int) -> int:
+        """2-input AND with structural hashing and constant propagation."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return a
+        if self._const0 is not None and (a == self._const0 or b == self._const0):
+            return self.const0()
+        lo, hi = (a, b) if a < b else (b, a)
+        key = (OP_AND, lo, hi)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return existing
+        node = self._new_node(OP_AND, lo, hi)
+        self._strash[key] = node
+        return node
+
+    def xor2(self, a: int, b: int) -> int:
+        """2-input XOR with structural hashing and constant propagation."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return self.const0()
+        if self._const0 is not None:
+            if a == self._const0:
+                return b
+            if b == self._const0:
+                return a
+        lo, hi = (a, b) if a < b else (b, a)
+        key = (OP_XOR, lo, hi)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return existing
+        node = self._new_node(OP_XOR, lo, hi)
+        self._strash[key] = node
+        return node
+
+    def xor_reduce(self, nodes: Sequence[int], style: str = "balanced") -> int:
+        """XOR together a list of nodes.
+
+        ``style`` selects the association:
+
+        * ``"balanced"`` — complete binary tree (minimum depth),
+        * ``"chain"``    — left-to-right linear chain (the naive structure).
+        """
+        operands = list(nodes)
+        if not operands:
+            return self.const0()
+        if style == "chain":
+            result = operands[0]
+            for operand in operands[1:]:
+                result = self.xor2(result, operand)
+            return result
+        if style == "balanced":
+            while len(operands) > 1:
+                next_layer = []
+                for index in range(0, len(operands) - 1, 2):
+                    next_layer.append(self.xor2(operands[index], operands[index + 1]))
+                if len(operands) % 2:
+                    next_layer.append(operands[-1])
+                operands = next_layer
+            return operands[0]
+        raise ValueError(f"unknown xor_reduce style {style!r}")
+
+    def add_output(self, name: str, node: int) -> None:
+        """Register a primary output driving the given node."""
+        self._check_node(node)
+        self._outputs.append((name, node))
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (inputs, constants and gates)."""
+        return len(self._ops)
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input names in creation order."""
+        return list(self._input_ids)
+
+    @property
+    def outputs(self) -> List[Tuple[str, int]]:
+        """Primary outputs as ``(name, node)`` pairs in registration order."""
+        return list(self._outputs)
+
+    def output_node(self, name: str) -> int:
+        """The node driving the named output."""
+        for output_name, node in self._outputs:
+            if output_name == name:
+                return node
+        raise KeyError(f"no output named {name!r}")
+
+    def input_node(self, name: str) -> int:
+        """The node of the named primary input."""
+        return self._input_ids[name]
+
+    def input_name(self, node: int) -> str:
+        """The name of a primary-input node."""
+        return self._node_names[node]
+
+    def op(self, node: int) -> int:
+        """Op code of a node (one of the ``OP_*`` constants)."""
+        self._check_node(node)
+        return self._ops[node]
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        """The two fanins of a gate node (undefined entries are ``-1``)."""
+        self._check_node(node)
+        return self._fanin0[node], self._fanin1[node]
+
+    def is_gate(self, node: int) -> bool:
+        """True for AND/XOR nodes."""
+        return self._ops[node] in (OP_AND, OP_XOR)
+
+    def nodes(self) -> range:
+        """All node ids in topological order."""
+        return range(len(self._ops))
+
+    # --------------------------------------------------------------- analysis
+    def live_nodes(self) -> List[int]:
+        """Nodes in the transitive fanin of at least one output (topological)."""
+        marked = bytearray(len(self._ops))
+        stack = [node for _, node in self._outputs]
+        while stack:
+            node = stack.pop()
+            if marked[node]:
+                continue
+            marked[node] = 1
+            if self._ops[node] in (OP_AND, OP_XOR):
+                stack.append(self._fanin0[node])
+                stack.append(self._fanin1[node])
+        return [node for node in range(len(self._ops)) if marked[node]]
+
+    def gate_counts(self, live_only: bool = True) -> Dict[str, int]:
+        """Number of AND and XOR gates (restricted to live logic by default)."""
+        nodes = self.live_nodes() if live_only else range(len(self._ops))
+        and_gates = sum(1 for node in nodes if self._ops[node] == OP_AND)
+        xor_gates = sum(1 for node in nodes if self._ops[node] == OP_XOR)
+        return {"and": and_gates, "xor": xor_gates}
+
+    def levels(self) -> List[int]:
+        """Logic level of every node (inputs and constants at level 0)."""
+        level = [0] * len(self._ops)
+        for node in range(len(self._ops)):
+            if self._ops[node] in (OP_AND, OP_XOR):
+                level[node] = 1 + max(level[self._fanin0[node]], level[self._fanin1[node]])
+        return level
+
+    def depth(self) -> int:
+        """Number of gate levels on the longest input-to-output path."""
+        if not self._outputs:
+            return 0
+        level = self.levels()
+        return max(level[node] for _, node in self._outputs)
+
+    def xor_depth(self) -> int:
+        """XOR levels on the longest path (the AND plane contributes one level)."""
+        depth = self.depth()
+        return max(0, depth - 1) if self.gate_counts()["and"] else depth
+
+    def fanout_counts(self) -> List[int]:
+        """Fanout of every node (output pins count as one fanout each)."""
+        fanout = [0] * len(self._ops)
+        for node in range(len(self._ops)):
+            if self._ops[node] in (OP_AND, OP_XOR):
+                fanout[self._fanin0[node]] += 1
+                fanout[self._fanin1[node]] += 1
+        for _, node in self._outputs:
+            fanout[node] += 1
+        return fanout
+
+    def summary(self) -> str:
+        """One-line human readable summary of the netlist."""
+        counts = self.gate_counts()
+        return (
+            f"{self.name or 'netlist'}: {len(self._input_ids)} inputs, "
+            f"{len(self._outputs)} outputs, {counts['and']} AND, "
+            f"{counts['xor']} XOR, depth {self.depth()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Netlist {self.summary()}>"

@@ -1,0 +1,101 @@
+"""Structural statistics of multiplier netlists.
+
+These numbers (2-input AND/XOR counts and gate depth) correspond directly to
+the theoretical "space" and "time" complexities quoted in the paper's
+Section II, e.g. 64 AND + 87 XOR gates and a delay of ``T_A + 5 T_X`` for
+the parenthesized GF(2^8) multiplier of ref [7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .netlist import OP_AND, OP_XOR, Netlist
+
+__all__ = ["NetlistStats", "gather_stats"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary of a netlist's structural complexity.
+
+    Attributes
+    ----------
+    name:
+        The netlist (usually generator) name.
+    inputs, outputs:
+        Primary I/O counts.
+    and_gates, xor_gates:
+        Live 2-input gate counts.
+    depth:
+        Gate levels on the longest path (AND plane included).
+    xor_depth:
+        XOR levels on the longest path (i.e. the ``k`` of ``T_A + k·T_X``).
+    max_fanout:
+        Largest fanout of any node — a proxy for routing stress on FPGAs.
+    """
+
+    name: str
+    inputs: int
+    outputs: int
+    and_gates: int
+    xor_gates: int
+    depth: int
+    xor_depth: int
+    max_fanout: int
+
+    @property
+    def total_gates(self) -> int:
+        """Total number of live 2-input gates."""
+        return self.and_gates + self.xor_gates
+
+    def delay_expression(self) -> str:
+        """The paper-style delay formula, e.g. ``TA + 5TX``."""
+        if self.and_gates == 0:
+            return f"{self.xor_depth}TX"
+        return f"TA + {self.xor_depth}TX"
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dictionary view, convenient for table rendering."""
+        return {
+            "inputs": self.inputs,
+            "outputs": self.outputs,
+            "and_gates": self.and_gates,
+            "xor_gates": self.xor_gates,
+            "total_gates": self.total_gates,
+            "depth": self.depth,
+            "xor_depth": self.xor_depth,
+            "max_fanout": self.max_fanout,
+        }
+
+
+def gather_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist (live logic only)."""
+    live = set(netlist.live_nodes())
+    and_gates = 0
+    xor_gates = 0
+    for node in live:
+        op = netlist.op(node)
+        if op == OP_AND:
+            and_gates += 1
+        elif op == OP_XOR:
+            xor_gates += 1
+    levels = netlist.levels()
+    depth = max((levels[node] for _, node in netlist.outputs), default=0)
+    fanouts = netlist.fanout_counts()
+    max_fanout = max((fanouts[node] for node in live), default=0)
+    # XOR depth: the longest path counted in XOR gates only.  For the AND-plane
+    # + XOR-tree circuits generated here every path passes through exactly one
+    # AND gate, so this is depth-1 whenever AND gates exist.
+    xor_depth = max(0, depth - 1) if and_gates else depth
+    return NetlistStats(
+        name=netlist.name,
+        inputs=len(netlist.inputs),
+        outputs=len(netlist.outputs),
+        and_gates=and_gates,
+        xor_gates=xor_gates,
+        depth=depth,
+        xor_depth=xor_depth,
+        max_fanout=max_fanout,
+    )

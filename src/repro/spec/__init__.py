@@ -1,0 +1,64 @@
+"""Symbolic product algebra: S_i/T_i functions, splitting, reduction, pairing.
+
+This subpackage is the paper's mathematics made executable.  It knows nothing
+about gates or FPGAs — it manipulates sets of partial products — and it is
+the single source of truth for what every multiplier circuit must compute.
+"""
+
+from .parenthesize import (
+    PairTree,
+    ParenthesizedCoefficient,
+    parenthesize_coefficient,
+    parenthesized_coefficients,
+)
+from .product_spec import ProductSpec
+from .reduction import (
+    SplitCoefficient,
+    STCoefficient,
+    coefficient_pairs,
+    spec_from_st,
+    split_coefficients,
+    st_coefficients,
+)
+from .siti import (
+    STFunction,
+    all_s_functions,
+    all_t_functions,
+    convolution_pairs,
+    s_function,
+    st_functions,
+    t_function,
+)
+from .splitting import SplitTerm, split_all_functions, split_function, split_table
+from .terms import Atom, Pair, atoms_to_string, pairs_of_atoms, x_atom, z_atom
+
+__all__ = [
+    "PairTree",
+    "ParenthesizedCoefficient",
+    "parenthesize_coefficient",
+    "parenthesized_coefficients",
+    "ProductSpec",
+    "SplitCoefficient",
+    "STCoefficient",
+    "coefficient_pairs",
+    "spec_from_st",
+    "split_coefficients",
+    "st_coefficients",
+    "STFunction",
+    "all_s_functions",
+    "all_t_functions",
+    "convolution_pairs",
+    "s_function",
+    "st_functions",
+    "t_function",
+    "SplitTerm",
+    "split_all_functions",
+    "split_function",
+    "split_table",
+    "Atom",
+    "Pair",
+    "atoms_to_string",
+    "pairs_of_atoms",
+    "x_atom",
+    "z_atom",
+]

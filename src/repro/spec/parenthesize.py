@@ -1,0 +1,140 @@
+"""Parenthesized (delay-restricted) coefficient expressions — paper Table III.
+
+Ref [7] (Imaña 2016) minimises the number of XOR levels by adding split
+terms *in pairs of equal depth*, starting from the shallowest: two depth-j
+complete trees combine into a depth-(j+1) complete tree.  The paper writes
+the result with explicit parentheses (its Table III) and introduces the
+shorthand ``T^(k+1)_(i,j) = T^k_i + T^k_j`` and ``ST^(k+1)_(i,j) = S^k_i +
+T^k_j`` for the combined nodes.
+
+This module reproduces that pairing with a Huffman-style greedy algorithm:
+repeatedly pop the two shallowest remaining operands and replace them by a
+combined node one level deeper than the deeper of the two.  For GF(2^8) this
+yields the paper's theoretical delay of ``T_A + 5·T_X`` (the deepest output
+needs five XOR levels above the AND plane) and the gate counts quoted in
+Section II (64 AND, 87 XOR when the combination nodes are not shared).
+
+The resulting :class:`PairTree` preserves the full association structure, so
+the ``imana2016`` multiplier generator can build a netlist that honours the
+"hard parenthesized restrictions" exactly as the reference method would.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from ..galois.gf2poly import degree
+from .reduction import SplitCoefficient, split_coefficients
+from .splitting import SplitTerm
+
+__all__ = ["PairTree", "parenthesize_coefficient", "parenthesized_coefficients", "ParenthesizedCoefficient"]
+
+
+@dataclass(frozen=True)
+class PairTree:
+    """A node of the parenthesized association tree of one coefficient.
+
+    A leaf wraps a single :class:`SplitTerm`; an internal node represents the
+    XOR of its two children and sits one level above the deeper child.
+    """
+
+    level: int
+    term: Optional[SplitTerm] = None
+    left: Optional["PairTree"] = None
+    right: Optional["PairTree"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for a leaf wrapping a split term."""
+        return self.term is not None
+
+    def leaves(self) -> List[SplitTerm]:
+        """All split terms under this node, left to right."""
+        if self.is_leaf:
+            return [self.term]
+        return self.left.leaves() + self.right.leaves()
+
+    def depth_above_terms(self) -> int:
+        """XOR levels contributed by the association structure itself.
+
+        The total XOR depth of the coefficient is ``level`` (the split terms
+        already account for their internal complete-tree depth); this helper
+        reports only the combination levels, which is occasionally useful in
+        complexity accounting.
+        """
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth_above_terms(), self.right.depth_above_terms())
+
+    def to_string(self) -> str:
+        """Render with explicit parentheses, mirroring the paper's Table III.
+
+        >>> # built via parenthesize_coefficient; see its doctest
+        """
+        if self.is_leaf:
+            return self.term.label
+        return f"({self.left.to_string()} + {self.right.to_string()})"
+
+
+@dataclass(frozen=True)
+class ParenthesizedCoefficient:
+    """One output coefficient with the delay-driven association structure."""
+
+    k: int
+    tree: PairTree
+
+    @property
+    def xor_depth(self) -> int:
+        """XOR levels from the AND plane to the coefficient output."""
+        return self.tree.level
+
+    def terms(self) -> List[SplitTerm]:
+        """The split terms feeding the coefficient, in association order."""
+        return self.tree.leaves()
+
+    def to_string(self) -> str:
+        """Render as ``c3 = ((..) + ..) + (..)`` with the paper's parentheses."""
+        rendered = self.tree.to_string()
+        if rendered.startswith("(") and rendered.endswith(")"):
+            rendered = rendered[1:-1]
+        return f"c{self.k} = {rendered}"
+
+
+def parenthesize_coefficient(coefficient: SplitCoefficient) -> ParenthesizedCoefficient:
+    """Apply the equal-depth pairing of ref [7] to one flat coefficient.
+
+    The two shallowest operands are combined first; ties are broken by the
+    original term order so that the output is deterministic.
+
+    >>> from .reduction import split_coefficients
+    >>> flat = split_coefficients(0b100011101)          # GF(2^8), (8, 2)
+    >>> parenthesize_coefficient(flat[7]).xor_depth
+    5
+    """
+    counter = itertools.count()
+    heap: List[Tuple[int, int, PairTree]] = []
+    for term in coefficient.terms:
+        heapq.heappush(heap, (term.level, next(counter), PairTree(level=term.level, term=term)))
+    if not heap:
+        raise ValueError(f"coefficient c{coefficient.k} has no terms")
+    while len(heap) > 1:
+        level_a, _, tree_a = heapq.heappop(heap)
+        level_b, _, tree_b = heapq.heappop(heap)
+        combined = PairTree(level=max(level_a, level_b) + 1, left=tree_a, right=tree_b)
+        heapq.heappush(heap, (combined.level, next(counter), combined))
+    _, _, tree = heap[0]
+    return ParenthesizedCoefficient(coefficient.k, tree)
+
+
+def parenthesized_coefficients(modulus: int) -> List[ParenthesizedCoefficient]:
+    """Parenthesized expressions for every coefficient of the given modulus.
+
+    For the paper's GF(2^8) field this reproduces the delay bound of
+    Table III: ``max_k xor_depth == 5`` (i.e. overall delay T_A + 5 T_X).
+    """
+    if degree(modulus) < 2:
+        raise ValueError("parenthesization needs a modulus of degree >= 2")
+    return [parenthesize_coefficient(coefficient) for coefficient in split_coefficients(modulus)]

@@ -1,0 +1,131 @@
+"""ProductSpec: the exact partial-product composition of every output bit.
+
+A :class:`ProductSpec` records, for each coefficient ``c_k`` of the field
+product ``C = A·B mod f``, the set of partial-product pairs ``(i, j)``
+(meaning ``a_i·b_j``) whose GF(2) sum equals ``c_k``.  It is derived directly
+from the reduction matrix, independent of any particular multiplier
+construction, and therefore serves as the *golden functional reference*:
+
+* every multiplier generator is formally checked against it
+  (:func:`repro.netlist.verify.verify_netlist`),
+* it can itself be evaluated on concrete operands, which the test-suite
+  cross-checks against :class:`repro.galois.field.GF2mField`.
+
+Because all pairs reaching a given output through different product degrees
+are distinct, the union of pair sets involves no cancellation and is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from .siti import convolution_pairs
+from .terms import Pair
+
+__all__ = ["ProductSpec"]
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """Partial-product composition of a GF(2^m) polynomial-basis multiplier.
+
+    Attributes
+    ----------
+    modulus:
+        The defining polynomial ``f(y)`` as an integer.
+    outputs:
+        Tuple of ``m`` frozensets; entry ``k`` holds the pairs of ``c_k``.
+    """
+
+    modulus: int
+    outputs: Tuple[FrozenSet[Pair], ...]
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_modulus(cls, modulus: int) -> "ProductSpec":
+        """Build the spec for an arbitrary defining polynomial.
+
+        ``c_k = d_k + sum_i R[i][k]·d_(m+i)`` where ``R`` is the reduction
+        matrix and ``d_t`` the plain product coefficients.
+        """
+        m = degree(modulus)
+        if m < 1:
+            raise ValueError("the modulus must have degree >= 1")
+        rows = reduction_matrix(modulus)
+        outputs: List[FrozenSet[Pair]] = []
+        degree_pairs = [convolution_pairs(m, t) for t in range(2 * m - 1)]
+        for k in range(m):
+            pairs = set(degree_pairs[k])
+            for i, row in enumerate(rows):
+                if row[k]:
+                    pairs |= degree_pairs[m + i]
+            outputs.append(frozenset(pairs))
+        return cls(modulus, tuple(outputs))
+
+    @classmethod
+    def from_pair_sets(cls, modulus: int, pair_sets: Sequence[FrozenSet[Pair]]) -> "ProductSpec":
+        """Wrap externally computed pair sets (used by alternative derivations)."""
+        m = degree(modulus)
+        if len(pair_sets) != m:
+            raise ValueError(f"expected {m} outputs, got {len(pair_sets)}")
+        return cls(modulus, tuple(frozenset(p) for p in pair_sets))
+
+    # ------------------------------------------------------------------- views
+    @property
+    def m(self) -> int:
+        """The field degree (number of output bits)."""
+        return len(self.outputs)
+
+    def pairs(self, k: int) -> FrozenSet[Pair]:
+        """The pair set of output coefficient ``c_k``."""
+        return self.outputs[k]
+
+    def pair_count(self, k: int) -> int:
+        """Number of partial products feeding ``c_k``."""
+        return len(self.outputs[k])
+
+    def total_pair_references(self) -> int:
+        """Sum of pair counts over all outputs (a proxy for XOR work)."""
+        return sum(len(pairs) for pairs in self.outputs)
+
+    def distinct_pairs(self) -> FrozenSet[Pair]:
+        """All partial products used anywhere (always the full m×m grid)."""
+        everything: set = set()
+        for pairs in self.outputs:
+            everything |= pairs
+        return frozenset(everything)
+
+    def as_dict(self) -> Dict[int, FrozenSet[Pair]]:
+        """Mapping from output index to pair set."""
+        return {k: pairs for k, pairs in enumerate(self.outputs)}
+
+    # -------------------------------------------------------------- evaluation
+    def evaluate(self, a: int, b: int) -> int:
+        """Evaluate the spec on concrete operands (an independent multiplier).
+
+        Used by tests to cross-check against the reference field arithmetic.
+        """
+        m = self.m
+        a_bits = [(a >> i) & 1 for i in range(m)]
+        b_bits = [(b >> i) & 1 for i in range(m)]
+        result = 0
+        for k, pairs in enumerate(self.outputs):
+            bit = 0
+            for i, j in pairs:
+                bit ^= a_bits[i] & b_bits[j]
+            if bit:
+                result |= 1 << k
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ProductSpec)
+            and other.modulus == self.modulus
+            and other.outputs == self.outputs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.modulus, self.outputs))

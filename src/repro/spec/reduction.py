@@ -1,0 +1,162 @@
+"""Reduction of the S_i / T_i functions into product coefficients.
+
+The plain product coefficients are ``d_(i-1) = S_i`` and ``d_(m+i) = T_i``.
+Reduction modulo the defining polynomial is GF(2)-linear, so every output
+coefficient is
+
+    c_k = S_(k+1) + sum over { T_i : R[i][k] = 1 }
+
+where ``R`` is the reduction matrix.  This module materialises that mapping
+in three closely related forms:
+
+* :func:`st_coefficients`      — which ``S``/``T`` functions feed each ``c_k``
+  (the paper's Table I for GF(2^8) with (m, n) = (8, 2));
+* :func:`split_coefficients`   — the same but with every function replaced by
+  its split terms ``S_i^j`` / ``T_i^j`` as one *flat* XOR list (the paper's
+  Table IV — the proposed "give the synthesiser freedom" form);
+* :func:`coefficient_pairs`    — fully expanded to partial-product pairs,
+  which must agree with :class:`~repro.spec.product_spec.ProductSpec`.
+
+All three work for any defining polynomial, not just type II pentanomials;
+the type II structure only makes the resulting expressions particularly
+regular and sparse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..galois.gf2poly import degree
+from ..galois.matrices import reduction_matrix
+from .product_spec import ProductSpec
+from .siti import STFunction, st_functions
+from .splitting import SplitTerm, split_all_functions
+from .terms import Pair
+
+__all__ = [
+    "STCoefficient",
+    "st_coefficients",
+    "SplitCoefficient",
+    "split_coefficients",
+    "coefficient_pairs",
+    "spec_from_st",
+]
+
+
+@dataclass(frozen=True)
+class STCoefficient:
+    """One output coefficient expressed as a XOR of whole S/T functions.
+
+    ``c_k = S_(k+1) + T_(i1) + T_(i2) + ...`` — this is the representation of
+    the paper's Table I.
+    """
+
+    k: int
+    s_indices: Tuple[int, ...]
+    t_indices: Tuple[int, ...]
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Function labels in paper order (S terms first, then T terms)."""
+        return tuple(f"S{i}" for i in self.s_indices) + tuple(f"T{i}" for i in self.t_indices)
+
+    def to_string(self) -> str:
+        """Render as in Table I, e.g. ``c0 = S1 + T0 + T4 + T5 + T6``."""
+        return f"c{self.k} = " + " + ".join(self.labels)
+
+
+def st_coefficients(modulus: int) -> List[STCoefficient]:
+    """Express every ``c_k`` as a sum of S/T functions for the given modulus.
+
+    >>> rows = st_coefficients(0b100011101)       # GF(2^8), (m, n) = (8, 2)
+    >>> rows[0].to_string()
+    'c0 = S1 + T0 + T4 + T5 + T6'
+    >>> rows[5].to_string()
+    'c5 = S6 + T1 + T2 + T3'
+    """
+    m = degree(modulus)
+    if m < 2:
+        raise ValueError("S/T reduction needs a modulus of degree >= 2")
+    rows = reduction_matrix(modulus)
+    coefficients = []
+    for k in range(m):
+        t_indices = tuple(i for i, row in enumerate(rows) if row[k])
+        coefficients.append(STCoefficient(k, (k + 1,), t_indices))
+    return coefficients
+
+
+@dataclass(frozen=True)
+class SplitCoefficient:
+    """One output coefficient as a flat XOR of split terms (paper Table IV).
+
+    The ordering follows the paper: the S terms of the coefficient first
+    (higher level first within a function), then the T terms grouped per
+    function in increasing function index, each with higher level first.
+    """
+
+    k: int
+    terms: Tuple[SplitTerm, ...]
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """The split-term labels, e.g. ``('S1^0', 'T0^2', 'T0^1', ...)``."""
+        return tuple(term.label for term in self.terms)
+
+    def to_string(self) -> str:
+        """Render as in Table IV, e.g. ``c1 = S2^1 + T1^2 + T1^1 + T5^1 + T6^0``."""
+        return f"c{self.k} = " + " + ".join(self.labels)
+
+    def pairs(self) -> FrozenSet[Pair]:
+        """Fully expanded partial-product pairs of the coefficient."""
+        pairs: set = set()
+        for term in self.terms:
+            pairs |= term.pairs()
+        return frozenset(pairs)
+
+    def max_level(self) -> int:
+        """The deepest split term feeding this coefficient."""
+        return max((term.level for term in self.terms), default=0)
+
+
+def split_coefficients(modulus: int) -> List[SplitCoefficient]:
+    """The flat (non-parenthesized) coefficient expressions — paper Table IV.
+
+    >>> rows = split_coefficients(0b100011101)
+    >>> rows[7].to_string()
+    'c7 = S8^3 + T3^2 + T4^1 + T4^0 + T5^1'
+    """
+    m = degree(modulus)
+    split_map = split_all_functions(m)
+    coefficients = []
+    for st_row in st_coefficients(modulus):
+        terms: List[SplitTerm] = []
+        for s_index in st_row.s_indices:
+            terms.extend(sorted(split_map[f"S{s_index}"], key=lambda t: -t.level))
+        for t_index in st_row.t_indices:
+            terms.extend(sorted(split_map[f"T{t_index}"], key=lambda t: -t.level))
+        coefficients.append(SplitCoefficient(st_row.k, tuple(terms)))
+    return coefficients
+
+
+def coefficient_pairs(modulus: int) -> List[FrozenSet[Pair]]:
+    """Partial-product pair sets of every coefficient, derived via S/T functions.
+
+    This is an independent derivation of the same information produced by
+    :meth:`ProductSpec.from_modulus`; the test suite requires the two to be
+    identical for every field in the paper's catalog.
+    """
+    m = degree(modulus)
+    functions: Dict[str, STFunction] = st_functions(m)
+    pair_sets: List[FrozenSet[Pair]] = []
+    for st_row in st_coefficients(modulus):
+        pairs: set = set()
+        for label in st_row.labels:
+            pairs |= functions[label].pairs()
+        pair_sets.append(frozenset(pairs))
+    return pair_sets
+
+
+def spec_from_st(modulus: int) -> ProductSpec:
+    """Build a :class:`ProductSpec` through the S/T route (for cross-checking)."""
+    return ProductSpec.from_pair_sets(modulus, coefficient_pairs(modulus))

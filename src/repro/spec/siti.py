@@ -1,0 +1,167 @@
+"""The S_i and T_i functions of the polynomial product (paper eq. (1)).
+
+For ``A, B ∈ GF(2^m)`` with coordinates ``a_i, b_i``, the plain polynomial
+product ``D(y) = A(y)·B(y)`` has coefficients ``d_0 .. d_(2m-2)``.  Imaña's
+formulation (ref [6], reproduced as eq. (1) of the paper) names them:
+
+* ``S_i`` for ``1 <= i <= m``    —  equals ``d_(i-1)`` (the "low" half),
+* ``T_i`` for ``0 <= i <= m-2``  —  equals ``d_(m+i)`` (the "high" half),
+
+each written as a sum of ``x_k`` and ``z_i^j`` atoms:
+
+    S_i = x_p + sum_{h=0}^{p-1} z_h^{i-h-1},          p = floor(i/2)
+    T_i = x_q + sum_{j=1}^{r-(i+1)} z_{i+j}^{m-j},    q = ceil(m/2) + floor(i/2)
+
+where ``x_p`` only appears for odd ``i``; ``x_q`` only appears when ``m`` and
+``i`` have the same parity (then ``r = q``), otherwise ``r = ceil(m/2) +
+ceil(i/2)``.
+
+This module constructs those atom lists and exposes the identities used by
+the verification suite (``S_i == d_(i-1)``, ``T_i == d_(m+i)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from .terms import Atom, Pair, atoms_to_string, pairs_of_atoms, x_atom, z_atom
+
+__all__ = [
+    "STFunction",
+    "s_function",
+    "t_function",
+    "all_s_functions",
+    "all_t_functions",
+    "st_functions",
+    "convolution_pairs",
+]
+
+
+@dataclass(frozen=True)
+class STFunction:
+    """One ``S_i`` or ``T_i`` function: an ordered sum of atoms.
+
+    Attributes
+    ----------
+    kind:
+        ``"S"`` or ``"T"``.
+    index:
+        The function index ``i`` (1-based for S, 0-based for T, as in the paper).
+    atoms:
+        The atoms in paper order (the ``x`` atom first when present, then the
+        ``z`` atoms in increasing subscript order).
+    """
+
+    kind: str
+    index: int
+    atoms: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("S", "T"):
+            raise ValueError(f"kind must be 'S' or 'T', got {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``S5`` or ``T0``."""
+        return f"{self.kind}{self.index}"
+
+    @property
+    def product_count(self) -> int:
+        """Total number of partial products a_i·b_j in the function."""
+        return sum(atom.product_count for atom in self.atoms)
+
+    @property
+    def has_x_atom(self) -> bool:
+        """True when the function contains an ``x_k`` (diagonal) atom."""
+        return any(atom.is_x for atom in self.atoms)
+
+    def z_atoms(self) -> Tuple[Atom, ...]:
+        """The ``z`` atoms of the function, in paper order."""
+        return tuple(atom for atom in self.atoms if atom.is_z)
+
+    def pairs(self) -> FrozenSet[Pair]:
+        """All partial-product pairs covered by the function."""
+        return pairs_of_atoms(self.atoms)
+
+    def to_string(self) -> str:
+        """Render the function as in the paper, e.g. ``T0 = x4 + z1^7 + z2^6 + z3^5``."""
+        return f"{self.label} = {atoms_to_string(self.atoms)}"
+
+
+def s_function(m: int, i: int) -> STFunction:
+    """Build ``S_i`` for the field degree ``m`` (valid for ``1 <= i <= m``).
+
+    >>> s_function(8, 5).to_string()
+    'S5 = x2 + z0^4 + z1^3'
+    """
+    if not 1 <= i <= m:
+        raise ValueError(f"S_i is defined for 1 <= i <= m; got i={i}, m={m}")
+    p = i // 2
+    atoms: List[Atom] = []
+    if i % 2 == 1:
+        atoms.append(x_atom(p))
+    for h in range(p):
+        atoms.append(z_atom(h, i - h - 1))
+    return STFunction("S", i, tuple(atoms))
+
+
+def t_function(m: int, i: int) -> STFunction:
+    """Build ``T_i`` for the field degree ``m`` (valid for ``0 <= i <= m-2``).
+
+    >>> t_function(8, 0).to_string()
+    'T0 = x4 + z1^7 + z2^6 + z3^5'
+    >>> t_function(8, 1).to_string()
+    'T1 = z2^7 + z3^6 + z4^5'
+    """
+    if not 0 <= i <= m - 2:
+        raise ValueError(f"T_i is defined for 0 <= i <= m-2; got i={i}, m={m}")
+    ceil_half_m = (m + 1) // 2
+    q = ceil_half_m + i // 2
+    same_parity = (m % 2) == (i % 2)
+    if same_parity:
+        has_x = True
+        r = q
+    else:
+        has_x = False
+        r = ceil_half_m + (i + 1) // 2
+    atoms: List[Atom] = []
+    if has_x:
+        atoms.append(x_atom(q))
+    for j in range(1, r - (i + 1) + 1):
+        atoms.append(z_atom(i + j, m - j))
+    return STFunction("T", i, tuple(atoms))
+
+
+def all_s_functions(m: int) -> List[STFunction]:
+    """All ``S_1 .. S_m`` for degree ``m``."""
+    return [s_function(m, i) for i in range(1, m + 1)]
+
+
+def all_t_functions(m: int) -> List[STFunction]:
+    """All ``T_0 .. T_(m-2)`` for degree ``m``."""
+    return [t_function(m, i) for i in range(m - 1)]
+
+
+def st_functions(m: int) -> Dict[str, STFunction]:
+    """All S and T functions keyed by their paper label (``"S1"`` .. ``"T6"``)."""
+    functions = all_s_functions(m) + all_t_functions(m)
+    return {function.label: function for function in functions}
+
+
+def convolution_pairs(m: int, degree: int) -> FrozenSet[Pair]:
+    """Partial-product pairs of the plain product coefficient ``d_degree``.
+
+    ``d_t = sum_{i+j=t} a_i·b_j`` with ``0 <= i, j <= m-1``.  The S/T
+    identities ``S_i == d_(i-1)`` and ``T_i == d_(m+i)`` are checked against
+    this function by the tests.
+
+    >>> sorted(convolution_pairs(4, 5))
+    [(2, 3), (3, 2)]
+    """
+    if not 0 <= degree <= 2 * m - 2:
+        raise ValueError(f"product degrees range over 0..2m-2; got {degree} for m={m}")
+    pairs = set()
+    for i in range(max(0, degree - m + 1), min(m - 1, degree) + 1):
+        pairs.add((i, degree - i))
+    return frozenset(pairs)

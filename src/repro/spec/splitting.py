@@ -1,0 +1,139 @@
+"""Splitting of S_i / T_i into complete-binary-tree terms S_i^j / T_i^j.
+
+Ref [7] (Imaña 2016) observed that a function containing ``N`` partial
+products can be decomposed according to the binary expansion of ``N``: each
+group of ``2^j`` products forms a term that is implementable as a *complete*
+binary XOR tree of depth ``j``.  The paper's Table II lists this splitting
+for GF(2^8); this module performs it for arbitrary ``m`` with the same
+grouping convention as the paper:
+
+* the ``x_k`` atom (a single product), when present, becomes the level-0 term;
+* the ``z`` atoms (two products each) are consumed front-to-back, the group
+  sizes following the binary expansion of the z-count from the least
+  significant bit upward (so ``T_0`` of GF(2^8), with three z atoms, yields a
+  level-1 term ``z_1^7`` followed by a level-2 term ``z_2^6 + z_3^5``,
+  exactly as in Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from .siti import STFunction, all_s_functions, all_t_functions
+from .terms import Atom, Pair, atoms_to_string, pairs_of_atoms
+
+__all__ = ["SplitTerm", "split_function", "split_all_functions", "split_table"]
+
+
+@dataclass(frozen=True, order=True)
+class SplitTerm:
+    """A term ``S_i^j`` or ``T_i^j``: exactly ``2^j`` partial products.
+
+    Attributes
+    ----------
+    kind:
+        ``"S"`` or ``"T"``.
+    index:
+        The function index ``i``.
+    level:
+        The depth ``j`` of the complete binary XOR tree implementing the term.
+    atoms:
+        The atoms grouped into this term (their product counts sum to ``2^level``).
+    """
+
+    kind: str
+    index: int
+    level: int
+    atoms: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("S", "T"):
+            raise ValueError(f"kind must be 'S' or 'T', got {self.kind!r}")
+        if self.level < 0:
+            raise ValueError("split levels are non-negative")
+        count = sum(atom.product_count for atom in self.atoms)
+        if count != 1 << self.level:
+            raise ValueError(
+                f"{self.kind}{self.index}^{self.level} must contain {1 << self.level} "
+                f"partial products, got {count}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``S8^3`` or ``T0^2``."""
+        return f"{self.kind}{self.index}^{self.level}"
+
+    @property
+    def product_count(self) -> int:
+        """Number of partial products (always ``2**level``)."""
+        return 1 << self.level
+
+    def pairs(self) -> FrozenSet[Pair]:
+        """All partial-product pairs of this term."""
+        return pairs_of_atoms(self.atoms)
+
+    def to_string(self) -> str:
+        """Render the term as in the paper's Table II, e.g. ``T0^2 = (z2^6 + z3^5)``."""
+        body = atoms_to_string(self.atoms)
+        if len(self.atoms) > 1:
+            body = f"({body})"
+        return f"{self.label} = {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SplitTerm({self.label})"
+
+
+def split_function(function: STFunction) -> List[SplitTerm]:
+    """Split one ``S_i``/``T_i`` into its ``S_i^j``/``T_i^j`` terms.
+
+    The returned list is ordered by increasing level, matching the paper's
+    convention of writing ``S_i = s^i_rho S_i^rho + ... + s^i_0 S_i^0`` with
+    only the non-zero terms kept.
+
+    >>> from .siti import t_function
+    >>> [term.to_string() for term in split_function(t_function(8, 0))]
+    ['T0^0 = x4', 'T0^1 = z1^7', 'T0^2 = (z2^6 + z3^5)']
+    """
+    terms: List[SplitTerm] = []
+    x_atoms = [atom for atom in function.atoms if atom.is_x]
+    z_atoms = [atom for atom in function.atoms if atom.is_z]
+    if len(x_atoms) > 1:
+        raise ValueError(f"{function.label} unexpectedly contains more than one x atom")
+    if x_atoms:
+        terms.append(SplitTerm(function.kind, function.index, 0, (x_atoms[0],)))
+    z_count = len(z_atoms)
+    cursor = 0
+    bit = 0
+    while (1 << bit) <= z_count:
+        if z_count >> bit & 1:
+            group = tuple(z_atoms[cursor:cursor + (1 << bit)])
+            cursor += 1 << bit
+            terms.append(SplitTerm(function.kind, function.index, bit + 1, group))
+        bit += 1
+    return sorted(terms, key=lambda term: term.level)
+
+
+def split_all_functions(m: int) -> Dict[str, List[SplitTerm]]:
+    """Split every S and T function of degree ``m``; keyed by function label.
+
+    >>> table = split_all_functions(8)
+    >>> [term.label for term in table['S8']]
+    ['S8^3']
+    """
+    result: Dict[str, List[SplitTerm]] = {}
+    for function in all_s_functions(m) + all_t_functions(m):
+        result[function.label] = split_function(function)
+    return result
+
+
+def split_table(m: int) -> Dict[str, SplitTerm]:
+    """All split terms of degree ``m`` keyed by their own label (``"T0^2"`` ...).
+
+    This is the machine-readable version of the paper's Table II.
+    """
+    table: Dict[str, SplitTerm] = {}
+    for terms in split_all_functions(m).values():
+        for term in terms:
+            table[term.label] = term
+    return table

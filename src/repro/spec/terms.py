@@ -1,0 +1,123 @@
+"""Atomic partial-product terms used by the S_i / T_i algebra.
+
+The paper (following Imaña 2012, ref [6]) expresses every coefficient of the
+polynomial product ``D = A·B`` as a XOR of two kinds of atoms:
+
+* ``x_k  = a_k·b_k``                      — one partial product,
+* ``z_i^j = a_i·b_j + a_j·b_i`` (i < j)   — two partial products.
+
+An :class:`Atom` is either of those.  The fundamental currency below the
+atoms is the *partial-product pair* ``(i, j)`` meaning ``a_i·b_j``; every
+higher-level object (atoms, split terms, S/T functions, product
+coefficients) ultimately reduces to a set of such pairs, which is what the
+formal verification in :mod:`repro.netlist.verify` compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = ["Pair", "Atom", "x_atom", "z_atom", "pairs_of_atoms", "atoms_to_string"]
+
+#: A partial product a_i * b_j, encoded as the index pair (i, j).
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A single ``x_k`` or ``z_i^j`` term.
+
+    Attributes
+    ----------
+    i, j:
+        For an ``x`` atom ``i == j == k``.  For a ``z`` atom ``i < j`` and the
+        atom denotes ``a_i·b_j + a_j·b_i`` (paper notation ``z_i^j`` with
+        subscript ``i`` and superscript ``j``).
+    """
+
+    i: int
+    j: int
+
+    def __post_init__(self) -> None:
+        if self.i < 0 or self.j < 0:
+            raise ValueError("atom indices must be non-negative")
+        if self.i > self.j:
+            raise ValueError(f"z atoms are canonicalized with i <= j, got ({self.i}, {self.j})")
+
+    @property
+    def is_x(self) -> bool:
+        """True for an ``x_k = a_k·b_k`` atom."""
+        return self.i == self.j
+
+    @property
+    def is_z(self) -> bool:
+        """True for a ``z_i^j`` atom (two symmetric partial products)."""
+        return self.i != self.j
+
+    @property
+    def product_count(self) -> int:
+        """Number of partial products contained in the atom (1 or 2)."""
+        return 1 if self.is_x else 2
+
+    def pairs(self) -> FrozenSet[Pair]:
+        """The set of partial-product pairs represented by this atom.
+
+        >>> sorted(z_atom(1, 7).pairs())
+        [(1, 7), (7, 1)]
+        >>> sorted(x_atom(4).pairs())
+        [(4, 4)]
+        """
+        if self.is_x:
+            return frozenset({(self.i, self.i)})
+        return frozenset({(self.i, self.j), (self.j, self.i)})
+
+    def label(self) -> str:
+        """Paper-style label: ``x4`` or ``z1^7``."""
+        if self.is_x:
+            return f"x{self.i}"
+        return f"z{self.i}^{self.j}"
+
+    def expression(self) -> str:
+        """Expanded boolean expression, e.g. ``(a1*b7 + a7*b1)``."""
+        if self.is_x:
+            return f"a{self.i}*b{self.i}"
+        return f"(a{self.i}*b{self.j} + a{self.j}*b{self.i})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atom({self.label()})"
+
+
+def x_atom(k: int) -> Atom:
+    """Construct the atom ``x_k = a_k·b_k``."""
+    return Atom(k, k)
+
+
+def z_atom(i: int, j: int) -> Atom:
+    """Construct the atom ``z_i^j = a_i·b_j + a_j·b_i`` (indices are sorted).
+
+    >>> z_atom(7, 1) == z_atom(1, 7)
+    True
+    """
+    if i == j:
+        raise ValueError("z atoms need two distinct indices; use x_atom for a_k*b_k")
+    lo, hi = (i, j) if i < j else (j, i)
+    return Atom(lo, hi)
+
+
+def pairs_of_atoms(atoms: Iterable[Atom]) -> FrozenSet[Pair]:
+    """Union of the partial-product pairs of a collection of atoms.
+
+    Atoms never overlap (each pair belongs to exactly one atom), so the union
+    is also the GF(2) sum.
+    """
+    pairs: set = set()
+    for atom in atoms:
+        pairs |= atom.pairs()
+    return frozenset(pairs)
+
+
+def atoms_to_string(atoms: Iterable[Atom]) -> str:
+    """Readable sum of atoms, e.g. ``x4 + z1^7 + z2^6 + z3^5``."""
+    labels = [atom.label() for atom in atoms]
+    return " + ".join(labels) if labels else "0"

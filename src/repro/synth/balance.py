@@ -1,0 +1,177 @@
+"""XOR network restructuring — the freedom the paper hands to the synthesiser.
+
+The proposed multiplier (Table IV) writes every output as a flat,
+un-parenthesized XOR of split terms precisely so that the synthesis tool can
+choose the association and share logic.  This module implements that freedom
+for our Python flow:
+
+* :func:`collect_xor_leaves` flattens the XOR cone of each output down to
+  its *leaf signals* — AND gates, primary inputs and any XOR node that is
+  shared with another cone (fanout > 1).  Shared signals are kept as leaves
+  so sharing decided by the generator survives restructuring; duplicated
+  leaves cancel in pairs (GF(2)).
+* :func:`restructure` rebuilds every output cone as a balanced XOR tree over
+  its leaves (minimum depth), optionally after the cross-output sharing pass
+  of :mod:`repro.synth.xor_cse`.
+
+Netlists whose generator set ``restructure_allowed = False`` (the
+parenthesized method of ref [7] and the other fixed-structure baselines) are
+passed through untouched by the main flow, modelling synthesis that honours
+the hand-written association.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+
+__all__ = ["collect_xor_leaves", "copy_cone", "depth_aware_xor", "rebuild_netlist", "restructure"]
+
+
+def collect_xor_leaves(netlist: Netlist, root: int, fanout: List[int]) -> List[int]:
+    """Flatten the XOR cone rooted at ``root`` into its leaf signals.
+
+    Descends through XOR nodes that are private to this cone (fanout 1); any
+    other node (AND, input, constant, or an XOR shared with another cone)
+    becomes a leaf.  Leaves appearing an even number of times cancel.
+    """
+    parity: Dict[int, int] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        op = netlist.op(node)
+        if op == OP_XOR and (node == root or fanout[node] <= 1):
+            fanin0, fanin1 = netlist.fanins(node)
+            stack.append(fanin0)
+            stack.append(fanin1)
+        else:
+            parity[node] = parity.get(node, 0) ^ 1
+    return sorted(node for node, odd in parity.items() if odd)
+
+
+def copy_cone(source: Netlist, target: Netlist, node: int, mapping: Dict[int, int]) -> int:
+    """Recursively copy ``node`` (and its cone) from ``source`` into ``target``.
+
+    ``mapping`` memoises already-copied nodes so shared logic stays shared.
+    """
+    if node in mapping:
+        return mapping[node]
+    op = source.op(node)
+    if op == OP_INPUT:
+        new_node = target.add_input(source.input_name(node))
+    elif op == OP_CONST0:
+        new_node = target.const0()
+    else:
+        fanin0, fanin1 = source.fanins(node)
+        new_fanin0 = copy_cone(source, target, fanin0, mapping)
+        new_fanin1 = copy_cone(source, target, fanin1, mapping)
+        new_node = target.and2(new_fanin0, new_fanin1) if op == OP_AND else target.xor2(new_fanin0, new_fanin1)
+    mapping[node] = new_node
+    return new_node
+
+
+def depth_aware_xor(target: Netlist, nodes: List[int], levels: List[int]) -> int:
+    """XOR a list of nodes, always combining the two shallowest operands first.
+
+    This is the Huffman-style association that minimises the depth of the
+    resulting XOR tree when the operands themselves sit at different logic
+    levels (shared split terms of different sizes, AND gates, CSE signals).
+    ``levels`` is the per-node level table of ``target`` and is extended in
+    place for the newly created gates.
+    """
+    if not nodes:
+        return target.const0()
+    counter = itertools.count()
+    heap = [(levels[node], next(counter), node) for node in nodes]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        level_a, _, node_a = heapq.heappop(heap)
+        level_b, _, node_b = heapq.heappop(heap)
+        combined = target.xor2(node_a, node_b)
+        while len(levels) < target.node_count:
+            levels.append(0)
+        combined_level = max(level_a, level_b) + 1
+        levels[combined] = combined_level
+        heapq.heappush(heap, (combined_level, next(counter), combined))
+    return heap[0][2]
+
+
+def rebuild_netlist(
+    source: Netlist,
+    output_leaves: Dict[str, List[int]],
+    extra_definitions: Optional[List[Tuple[int, List[int]]]] = None,
+) -> Netlist:
+    """Build a new netlist with every output a balanced XOR over its leaves.
+
+    ``output_leaves`` maps output names to leaf node ids *of the source
+    netlist*.  ``extra_definitions`` optionally defines intermediate shared
+    signals created by the CSE pass: a list of ``(virtual_id, leaf_ids)``
+    pairs, processed in order, whose virtual ids may then appear as leaves of
+    later definitions or of outputs.
+
+    Each output (and each shared definition) is rebuilt with the depth-aware
+    association of :func:`depth_aware_xor`, so the freedom granted by the
+    flat form is used both for area (sharing) and for delay (balancing).
+    """
+    target = Netlist(name=source.name + "_resyn", attributes=dict(source.attributes))
+    for name in source.inputs:
+        target.add_input(name)
+    mapping: Dict[int, int] = {}
+    levels: List[int] = []
+
+    def refresh_levels() -> None:
+        # Recompute levels lazily after copying cones (copied gates get exact levels).
+        nonlocal levels
+        levels = target.levels()
+
+    def materialise(leaf: int) -> int:
+        if leaf in mapping:
+            return mapping[leaf]
+        node = copy_cone(source, target, leaf, mapping)
+        return node
+
+    for virtual_id, leaf_ids in extra_definitions or []:
+        nodes = [materialise(leaf) for leaf in leaf_ids]
+        refresh_levels()
+        mapping[virtual_id] = depth_aware_xor(target, nodes, levels)
+
+    for name, _ in source.outputs:
+        leaves = output_leaves[name]
+        nodes = [materialise(leaf) for leaf in leaves]
+        refresh_levels()
+        target.add_output(name, depth_aware_xor(target, nodes, levels))
+    return target
+
+
+def restructure(netlist: Netlist, share_rounds: int = 2, group_sharing: bool = True) -> Netlist:
+    """Re-associate the XOR network of a restructurable netlist.
+
+    ``group_sharing`` first extracts groups of leaves that always occur
+    together (see :func:`repro.synth.xor_cse.group_by_signature`), which
+    recovers the natural function-level sharing of the flat form without any
+    depth penalty.  ``share_rounds`` > 0 additionally runs the greedy
+    pairwise sharing pass of :mod:`repro.synth.xor_cse` on top (0 disables
+    it).  Returns a new, functionally equivalent netlist.
+    """
+    from .xor_cse import greedy_share, group_by_signature  # local import to avoid a cycle
+
+    fanout = netlist.fanout_counts()
+    output_leaves: Dict[str, List[int]] = {}
+    for name, node in netlist.outputs:
+        output_leaves[name] = collect_xor_leaves(netlist, node, fanout)
+    extra_definitions: List[Tuple[int, List[int]]] = []
+    next_virtual = netlist.node_count
+    if group_sharing:
+        output_leaves, group_definitions, next_virtual = group_by_signature(
+            output_leaves, first_virtual_id=next_virtual
+        )
+        extra_definitions.extend(group_definitions)
+    if share_rounds > 0:
+        output_leaves, pair_definitions = greedy_share(
+            output_leaves, rounds=share_rounds, first_virtual_id=next_virtual
+        )
+        extra_definitions.extend(pair_definitions)
+    return rebuild_netlist(netlist, output_leaves, extra_definitions)

@@ -1,0 +1,110 @@
+"""FPGA device and timing model.
+
+The paper implements every multiplier on a Xilinx Artix-7 XC7A200T-FFG1156
+with ISE 14.7 / XST and reports post-place-and-route LUTs, slices and the
+combinational critical path (pad to pad).  We cannot run ISE, so this module
+defines the device abstraction our Python flow targets:
+
+* **logic**: ``lut_inputs``-input LUTs (6 for the 7-series), packed
+  ``luts_per_slice`` to a slice (4 LUT6 per 7-series slice);
+* **timing**: a pad-to-pad delay model
+
+      T = T_ibuf + T_obuf + Σ_levels (T_lut + T_net(fanout))
+      T_net(f) = net_base + net_per_fanout·log2(1 + f) + congestion
+
+  with a congestion term that grows with the logical size of the design
+  (large bit-parallel multipliers are routing dominated, which is why the
+  paper's delays grow from ~10 ns at m = 8 to ~22 ns at m = 163 despite only
+  a few extra LUT levels).
+
+The default constants are calibrated so that the *absolute* delays land in
+the same range as the paper's Table V; the experiments only rely on
+relative comparisons, which are driven by mapped depth, fanout and LUT
+count rather than by the constants themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["DeviceModel", "ARTIX7", "VIRTEX5_LIKE", "GENERIC_4LUT"]
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Capacity and timing parameters of a target FPGA family."""
+
+    name: str
+    #: Number of inputs of one look-up table.
+    lut_inputs: int
+    #: LUTs packed into one slice/CLB cluster.
+    luts_per_slice: int
+    #: Combinational LUT propagation delay (ns).
+    lut_delay_ns: float
+    #: Input buffer + input-pad routing delay (ns).
+    ibuf_delay_ns: float
+    #: Output buffer + output-pad routing delay (ns).
+    obuf_delay_ns: float
+    #: Base routing delay of any net (ns).
+    net_base_ns: float
+    #: Additional routing delay per doubling of the fanout (ns).
+    net_per_fanout_ns: float
+    #: Additional routing delay per doubling of design size in LUTs (ns),
+    #: modelling congestion / wire length growth of large flat netlists.
+    congestion_per_size_ns: float
+
+    def net_delay_ns(self, fanout: int, design_luts: int) -> float:
+        """Routing delay of a net with the given fanout inside a design of the given size."""
+        fanout = max(1, fanout)
+        design_luts = max(1, design_luts)
+        return (
+            self.net_base_ns
+            + self.net_per_fanout_ns * math.log2(1 + fanout)
+            + self.congestion_per_size_ns * math.log2(design_luts)
+        )
+
+    def io_overhead_ns(self) -> float:
+        """Pad-to-pad constant overhead (input buffer + output buffer)."""
+        return self.ibuf_delay_ns + self.obuf_delay_ns
+
+
+#: The paper's target: Artix-7 XC7A200T (6-input LUTs, 4 LUTs per slice).
+ARTIX7 = DeviceModel(
+    name="xc7a200t-ffg1156",
+    lut_inputs=6,
+    luts_per_slice=4,
+    lut_delay_ns=0.23,
+    ibuf_delay_ns=1.10,
+    obuf_delay_ns=2.60,
+    net_base_ns=0.20,
+    net_per_fanout_ns=0.18,
+    congestion_per_size_ns=0.13,
+)
+
+#: A 6-input-LUT family with slower routing, for sensitivity studies.
+VIRTEX5_LIKE = DeviceModel(
+    name="virtex5-like",
+    lut_inputs=6,
+    luts_per_slice=4,
+    lut_delay_ns=0.28,
+    ibuf_delay_ns=2.0,
+    obuf_delay_ns=3.8,
+    net_base_ns=0.55,
+    net_per_fanout_ns=0.22,
+    congestion_per_size_ns=0.11,
+)
+
+#: A classic 4-input-LUT architecture (Spartan-3 era), used by the ablation
+#: benchmarks to show how the conclusions shift with LUT granularity.
+GENERIC_4LUT = DeviceModel(
+    name="generic-4lut",
+    lut_inputs=4,
+    luts_per_slice=2,
+    lut_delay_ns=0.35,
+    ibuf_delay_ns=1.6,
+    obuf_delay_ns=3.2,
+    net_base_ns=0.50,
+    net_per_fanout_ns=0.20,
+    congestion_per_size_ns=0.10,
+)

@@ -1,0 +1,203 @@
+"""The end-to-end FPGA implementation flow.
+
+``implement()`` takes a generated multiplier and produces the metrics the
+paper reports (LUTs, slices, delay, Area×Time), running the same steps a
+vendor flow would:
+
+1. *Optional restructuring* — if the multiplier's generator allowed it (the
+   paper's proposed flat form), the XOR network is re-associated and shared
+   (:mod:`repro.synth.balance`, :mod:`repro.synth.xor_cse`).  Fixed-structure
+   baselines skip this step, modelling synthesis that honours the written
+   association (the "hard parenthesized restrictions" of ref [7]).
+2. *Technology mapping* to k-input LUTs (:mod:`repro.synth.lutmap`).
+3. *Slice packing* (:mod:`repro.synth.slices`).
+4. *Static timing analysis* with the device's delay model
+   (:mod:`repro.synth.timing`).
+
+The flow optionally re-verifies the (possibly restructured) netlist against
+the multiplier's :class:`~repro.spec.product_spec.ProductSpec` so that no
+optimisation can silently change the function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..multipliers.base import GeneratedMultiplier
+from ..netlist.netlist import Netlist
+from ..netlist.stats import gather_stats
+from ..netlist.verify import verify_netlist
+from .balance import restructure
+from .device import ARTIX7, DeviceModel
+from .lutmap import MappedNetwork, map_to_luts
+from .report import ImplementationResult
+from .slices import pack_slices
+from .timing import analyze_timing
+
+__all__ = ["SynthesisOptions", "FlowArtifacts", "implement", "implement_netlist"]
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Knobs of the implementation flow.
+
+    Attributes
+    ----------
+    restructure:
+        ``None`` (default) honours the netlist's ``restructure_allowed``
+        attribute; ``True``/``False`` force the behaviour (used by the
+        ablation benchmarks).
+    share_rounds:
+        Rounds of greedy cross-output XOR sharing applied when restructuring
+        (0 = balancing only).
+    cut_limit:
+        Priority cuts kept per node during LUT mapping.
+    verify:
+        Re-verify the netlist against the spec after restructuring.
+    min_slice_fill:
+        Packer willingness to co-locate unconnected LUTs (see
+        :func:`repro.synth.slices.pack_slices`).
+    """
+
+    restructure: Optional[bool] = None
+    share_rounds: int = 4
+    cut_limit: int = 6
+    verify: bool = True
+    min_slice_fill: int = 2
+    #: Mapping effort: number of alternative mapping strategies explored, the
+    #: best result (by Area x Time) being kept.  Models the strategy search a
+    #: vendor tool performs at its default/high effort settings.
+    effort: int = 2
+    #: Depth slack (LUT levels above depth-optimal) allowed for area recovery.
+    depth_slack: int = 1
+
+
+@dataclass
+class FlowArtifacts:
+    """Everything produced by one run of the flow (for inspection and tests)."""
+
+    result: ImplementationResult
+    netlist: Netlist
+    mapped: MappedNetwork
+    restructured: bool
+
+
+def _mapping_configurations(options: SynthesisOptions):
+    """The (cut_limit, depth_slack) pairs explored at the requested effort."""
+    configurations = [(options.cut_limit, options.depth_slack)]
+    extras = [
+        (options.cut_limit, max(0, options.depth_slack - 1)),
+        (options.cut_limit + 2, options.depth_slack),
+        (options.cut_limit, options.depth_slack + 1),
+        (max(2, options.cut_limit - 2), options.depth_slack),
+    ]
+    for extra in extras[: max(0, options.effort - 1)]:
+        if extra not in configurations:
+            configurations.append(extra)
+    return configurations
+
+
+def implement(
+    multiplier: GeneratedMultiplier,
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(),
+    keep_artifacts: bool = False,
+):
+    """Run the full implementation flow on a generated multiplier.
+
+    At ``options.effort`` > 1 several mapping strategies (and, for
+    restructurable netlists, several sharing depths) are explored and the
+    best implementation by Area×Time is reported — mirroring the strategy
+    search of a vendor flow.  Returns an :class:`ImplementationResult`, or a
+    :class:`FlowArtifacts` bundle when ``keep_artifacts`` is true.
+    """
+    source = multiplier.netlist
+    allowed = source.attributes.get("restructure_allowed", False)
+    do_restructure = allowed if options.restructure is None else options.restructure
+
+    candidates = [source]
+    if do_restructure:
+        candidates = [restructure(source, share_rounds=options.share_rounds)]
+        if options.effort > 1:
+            # A sharing-free, purely re-balanced variant: sometimes the extra
+            # shared signals cost a LUT level, and the best Area x Time comes
+            # from the shallower network.
+            candidates.append(restructure(source, share_rounds=0))
+        if options.effort > 2:
+            candidates.append(restructure(source, share_rounds=options.share_rounds + 2))
+        if options.verify:
+            for candidate in candidates:
+                report = verify_netlist(candidate, multiplier.spec)
+                if not report:
+                    raise RuntimeError(
+                        f"restructuring changed the function of {multiplier.method}: {report.summary()}"
+                    )
+
+    best = None
+    for netlist in candidates:
+        for cut_limit, depth_slack in _mapping_configurations(options):
+            mapped_try = map_to_luts(
+                netlist, lut_inputs=device.lut_inputs, cut_limit=cut_limit, depth_slack=depth_slack
+            )
+            packing_try = pack_slices(mapped_try, device, min_fill=options.min_slice_fill)
+            timing_try = analyze_timing(mapped_try, device)
+            score = mapped_try.lut_count * timing_try.critical_path_ns
+            if best is None or score < best[0]:
+                best = (score, netlist, mapped_try, packing_try, timing_try)
+
+    _, netlist, mapped, packing, timing = best
+    stats = gather_stats(netlist)
+
+    field_params = None
+    from ..galois.pentanomials import type_ii_parameters
+
+    parameters = type_ii_parameters(multiplier.modulus)
+    if parameters is not None:
+        field_params = parameters[1]
+
+    result = ImplementationResult(
+        method=multiplier.method,
+        reference=multiplier.reference,
+        m=multiplier.m,
+        n=field_params,
+        luts=mapped.lut_count,
+        slices=packing.slice_count,
+        delay_ns=timing.critical_path_ns,
+        and_gates=stats.and_gates,
+        xor_gates=stats.xor_gates,
+        lut_levels=mapped.depth,
+        average_slice_fill=packing.average_fill(),
+        restructured=do_restructure,
+        device=device.name,
+    )
+    if keep_artifacts:
+        return FlowArtifacts(result=result, netlist=netlist, mapped=mapped, restructured=do_restructure)
+    return result
+
+
+def implement_netlist(
+    netlist: Netlist,
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(restructure=False, verify=False),
+) -> ImplementationResult:
+    """Implement a bare netlist (no spec available — used for generic circuits)."""
+    mapped = map_to_luts(netlist, lut_inputs=device.lut_inputs, cut_limit=options.cut_limit)
+    packing = pack_slices(mapped, device, min_fill=options.min_slice_fill)
+    timing = analyze_timing(mapped, device)
+    stats = gather_stats(netlist)
+    return ImplementationResult(
+        method=netlist.attributes.get("method", netlist.name or "netlist"),
+        reference=netlist.attributes.get("reference", ""),
+        m=netlist.attributes.get("m", len(netlist.outputs)),
+        n=None,
+        luts=mapped.lut_count,
+        slices=packing.slice_count,
+        delay_ns=timing.critical_path_ns,
+        and_gates=stats.and_gates,
+        xor_gates=stats.xor_gates,
+        lut_levels=mapped.depth,
+        average_slice_fill=packing.average_fill(),
+        restructured=False,
+        device=device.name,
+    )

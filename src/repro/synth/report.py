@@ -1,0 +1,89 @@
+"""Implementation reports — the rows of the paper's Table V.
+
+An :class:`ImplementationResult` bundles everything the paper reports for
+one multiplier implementation (LUTs, slices, delay, Area×Time) together with
+the structural metrics our flow additionally knows (gate counts, LUT levels,
+average slice fill), plus enough provenance to regenerate the row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ImplementationResult", "format_table"]
+
+
+@dataclass
+class ImplementationResult:
+    """Post-implementation metrics of one multiplier on one field."""
+
+    method: str
+    reference: str
+    m: int
+    n: Optional[int]
+    luts: int
+    slices: int
+    delay_ns: float
+    and_gates: int = 0
+    xor_gates: int = 0
+    lut_levels: int = 0
+    average_slice_fill: float = 0.0
+    restructured: bool = False
+    device: str = ""
+
+    @property
+    def area_time(self) -> float:
+        """The paper's A×T metric: LUTs × critical path (LUTs·ns, lower is better)."""
+        return self.luts * self.delay_ns
+
+    @property
+    def field_label(self) -> str:
+        """``(m,n)`` label used in the paper's tables."""
+        return f"({self.m},{self.n})" if self.n is not None else f"(m={self.m})"
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (used by table rendering and JSON export)."""
+        return {
+            "method": self.method,
+            "reference": self.reference,
+            "field": self.field_label,
+            "m": self.m,
+            "n": self.n,
+            "luts": self.luts,
+            "slices": self.slices,
+            "delay_ns": round(self.delay_ns, 2),
+            "area_time": round(self.area_time, 2),
+            "and_gates": self.and_gates,
+            "xor_gates": self.xor_gates,
+            "lut_levels": self.lut_levels,
+            "average_slice_fill": round(self.average_slice_fill, 2),
+            "restructured": self.restructured,
+            "device": self.device,
+        }
+
+
+def format_table(results: List[ImplementationResult], title: str = "") -> str:
+    """Render results in the layout of the paper's Table V.
+
+    Rows are grouped by field (in first-appearance order) and, within a
+    field, listed in the order given — the comparison harness passes them in
+    the paper's method order.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'method':<15s} {'LUTs':>7s} {'Slices':>7s} {'Time (ns)':>10s} {'AxT':>12s}  field"
+    lines.append(header)
+    lines.append("-" * len(header))
+    current_field = None
+    for result in results:
+        if result.field_label != current_field:
+            if current_field is not None:
+                lines.append("-" * len(header))
+            current_field = result.field_label
+        lines.append(
+            f"{result.method:<15s} {result.luts:>7d} {result.slices:>7d} "
+            f"{result.delay_ns:>10.2f} {result.area_time:>12.2f}  {result.field_label}"
+        )
+    return "\n".join(lines)

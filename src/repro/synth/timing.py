@@ -1,0 +1,103 @@
+"""Static timing analysis of mapped LUT networks.
+
+The paper reports the post-place-and-route combinational critical path of
+each multiplier (pad to pad, in nanoseconds).  This module computes the
+equivalent figure for our mapped networks with the delay model of
+:class:`~repro.synth.device.DeviceModel`:
+
+* every primary input starts at the input-buffer delay,
+* traversing a net adds a routing delay that grows with the driving signal's
+  fanout and with the overall design size (congestion),
+* every LUT adds its propagation delay,
+* the slowest output additionally pays the output-buffer delay.
+
+The result object keeps the whole arrival-time map plus the critical path so
+tests can assert monotonicity properties (e.g. more LUT levels or higher
+fanout can never make the model faster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .device import DeviceModel
+from .lutmap import MappedNetwork
+
+__all__ = ["TimingResult", "analyze_timing"]
+
+
+@dataclass
+class TimingResult:
+    """Critical-path report of a mapped network."""
+
+    critical_path_ns: float
+    arrival_ns: Dict[int, float]
+    critical_output: str
+    critical_path_nodes: List[int] = field(default_factory=list)
+    logic_levels: int = 0
+
+    def summary(self) -> str:
+        """One-line report, e.g. ``9.84 ns (4 LUT levels, critical output c2)``."""
+        return (
+            f"{self.critical_path_ns:.2f} ns ({self.logic_levels} LUT levels, "
+            f"critical output {self.critical_output})"
+        )
+
+
+def analyze_timing(mapped: MappedNetwork, device: DeviceModel) -> TimingResult:
+    """Compute the pad-to-pad critical path of a mapped network."""
+    design_luts = max(1, mapped.lut_count)
+    fanout = mapped.signal_fanouts()
+    arrival: Dict[int, float] = {}
+    predecessor: Dict[int, int] = {}
+
+    source = mapped.source
+    for name in source.inputs:
+        node = source.input_node(name)
+        arrival[node] = device.ibuf_delay_ns
+    # Constant nodes (if any survive) arrive at time zero.
+    for node in source.nodes():
+        if source.op(node) == 1 and node not in arrival:  # OP_CONST0
+            arrival[node] = 0.0
+
+    for lut in sorted(mapped.luts, key=lambda lut: (lut.level, lut.root)):
+        best_time = 0.0
+        best_leaf = -1
+        for leaf in lut.leaves:
+            leaf_arrival = arrival.get(leaf, device.ibuf_delay_ns)
+            edge = leaf_arrival + device.net_delay_ns(fanout.get(leaf, 1), design_luts)
+            if edge > best_time:
+                best_time = edge
+                best_leaf = leaf
+        arrival[lut.root] = best_time + device.lut_delay_ns
+        predecessor[lut.root] = best_leaf
+
+    critical_output = ""
+    critical_node = -1
+    worst = 0.0
+    for name, node in mapped.outputs:
+        node_arrival = arrival.get(node, device.ibuf_delay_ns)
+        total = node_arrival + device.net_delay_ns(fanout.get(node, 1), design_luts) + device.obuf_delay_ns
+        if total >= worst:
+            worst = total
+            critical_output = name
+            critical_node = node
+
+    # Trace the critical path back to a primary input for reporting.
+    path: List[int] = []
+    node = critical_node
+    while node in predecessor and node >= 0:
+        path.append(node)
+        node = predecessor[node]
+    if node >= 0:
+        path.append(node)
+    path.reverse()
+    logic_levels = mapped.lut_of_root[critical_node].level if critical_node in mapped.lut_of_root else 0
+    return TimingResult(
+        critical_path_ns=worst,
+        arrival_ns=arrival,
+        critical_output=critical_output,
+        critical_path_nodes=path,
+        logic_levels=logic_levels,
+    )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois import GF2mField, type_ii_pentanomial
+
+
+@pytest.fixture(scope="session")
+def gf28_modulus() -> int:
+    """The paper's GF(2^8) pentanomial y^8 + y^4 + y^3 + y^2 + 1."""
+    return type_ii_pentanomial(8, 2)
+
+
+@pytest.fixture(scope="session")
+def gf28_field(gf28_modulus) -> GF2mField:
+    """The GF(2^8) reference field."""
+    return GF2mField(gf28_modulus)
+
+
+#: Small/medium (m, n) pairs whose type II pentanomial is irreducible.
+SMALL_FIELDS = [(8, 2), (10, 2), (11, 4), (13, 5), (16, 3), (20, 5)]
+
+#: Slightly larger fields used by the slower structural tests.
+MEDIUM_FIELDS = [(23, 9), (28, 5), (32, 11)]
+
+
+@pytest.fixture(scope="session")
+def small_fields():
+    """A selection of small type II fields used across the tests."""
+    return list(SMALL_FIELDS)
+
+
+@pytest.fixture(scope="session")
+def small_moduli(small_fields):
+    """Moduli of the small test fields."""
+    return [type_ii_pentanomial(m, n) for m, n in small_fields]
+
+
+@pytest.fixture(scope="session")
+def medium_moduli():
+    """Moduli of the medium test fields."""
+    return [type_ii_pentanomial(m, n) for m, n in MEDIUM_FIELDS]

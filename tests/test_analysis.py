@@ -1,0 +1,136 @@
+"""Tests for the analysis layer: complexity formulas, paper tables, Table V harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import claims_report, compare_to_paper, comparison_table, run_comparison
+from repro.analysis.complexity import (
+    and_gate_count,
+    complexity_summary,
+    minimum_xor_depth,
+    split_scheme_complexity,
+    unshared_xor_count,
+)
+from repro.analysis.paper_data import PAPER_TABLE5, paper_best_area_time, paper_row
+from repro.analysis.tables import (
+    render_st_functions,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.multipliers import generate_multiplier
+from repro.synth.flow import SynthesisOptions
+
+
+class TestComplexity:
+    def test_and_gate_count(self):
+        assert and_gate_count(8) == 64
+        assert and_gate_count(163) == 26569
+
+    def test_minimum_xor_depth_gf28(self, gf28_modulus):
+        assert minimum_xor_depth(gf28_modulus) == 5
+
+    def test_unshared_xor_count_is_an_upper_bound(self, gf28_modulus):
+        stats = generate_multiplier("rashidi", gf28_modulus, verify=False).stats()
+        assert stats.xor_gates <= unshared_xor_count(gf28_modulus)
+
+    def test_split_scheme_complexity_gf28(self, gf28_modulus):
+        complexity = split_scheme_complexity(gf28_modulus)
+        assert complexity.and_gates == 64
+        assert complexity.xor_depth == 5                  # paper: TA + 5TX
+        assert abs(complexity.xor_gates - 87) <= 10       # paper: 87 XOR gates
+        assert complexity.delay_expression() == "TA + 5TX"
+
+    def test_complexity_summary_rows(self, gf28_modulus):
+        rows = complexity_summary(gf28_modulus)
+        assert len(rows) == 5
+        assert all("quantity" in row and "value" in row for row in rows)
+
+
+class TestPaperTablesRendering:
+    def test_table1_contains_paper_rows(self, gf28_modulus):
+        text = render_table1(gf28_modulus)
+        assert "c0 = S1 + T0 + T4 + T5 + T6;" in text
+        assert "c7 = S8 + T3 + T4 + T5;" in text
+
+    def test_table2_contains_paper_terms(self, gf28_modulus):
+        text = render_table2(gf28_modulus)
+        assert "S8^3 = (z0^7 + z1^6 + z2^5 + z3^4)" in text
+        assert "T0^2 = (z2^6 + z3^5)" in text
+
+    def test_table3_reports_paper_delay(self, gf28_modulus):
+        text = render_table3(gf28_modulus)
+        assert "TA + 5TX" in text
+        assert text.count("c") >= 8
+
+    def test_table4_contains_flat_rows(self, gf28_modulus):
+        text = render_table4(gf28_modulus)
+        assert "c7 = S8^3 + T3^2 + T4^1 + T4^0 + T5^1;" in text
+
+    def test_st_functions_rendering(self, gf28_modulus):
+        text = render_st_functions(gf28_modulus)
+        assert "T0 = x4 + z1^7 + z2^6 + z3^5" in text
+
+
+class TestPaperData:
+    def test_all_nine_fields_present(self):
+        assert len(PAPER_TABLE5) == 9
+        assert all(len(rows) == 6 for rows in PAPER_TABLE5.values())
+
+    def test_area_time_consistency(self):
+        # The published A×T column equals LUTs × delay for every row.
+        for rows in PAPER_TABLE5.values():
+            for luts, _slices, time_ns, area_time in rows.values():
+                assert area_time == pytest.approx(luts * time_ns, rel=1e-3)
+
+    def test_paper_row_lookup(self):
+        assert paper_row(8, 2, "thiswork") == (33, 12, 9.77, 322.41)
+
+    def test_paper_best_area_time(self):
+        # The paper's proposed method wins A×T for 7 of the 9 fields.
+        winners = [paper_best_area_time(m, n) for (m, n) in PAPER_TABLE5]
+        assert winners.count("thiswork") == 7
+        assert set(winners) <= {"thiswork", "reyhani_hasan"}
+
+    def test_paper_proposed_beats_parenthesized_everywhere(self):
+        for rows in PAPER_TABLE5.values():
+            assert rows["thiswork"][0] < rows["imana2016"][0]
+            assert rows["thiswork"][3] < rows["imana2016"][3]
+
+
+class TestComparisonHarness:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_comparison(fields=[(8, 2)], options=SynthesisOptions(effort=1))
+
+    def test_rows_cover_all_methods(self, comparison):
+        assert len(comparison) == 1
+        assert {row.method for row in comparison[0].rows} == {
+            "paar", "rashidi", "reyhani_hasan", "imana2012", "imana2016", "thiswork",
+        }
+
+    def test_paper_values_attached(self, comparison):
+        row = comparison[0].row("thiswork")
+        assert row.paper_luts == 33 and row.paper_area_time == pytest.approx(322.41)
+
+    def test_best_helpers(self, comparison):
+        assert comparison[0].best_published() == "thiswork"
+        assert comparison[0].best_measured("area_time") in {
+            "paar", "rashidi", "reyhani_hasan", "imana2012", "imana2016", "thiswork",
+        }
+
+    def test_unknown_method_lookup_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison[0].row("schoolbook")
+
+    def test_claims_report_structure(self, comparison):
+        report = claims_report(comparison)
+        assert report["fields"] == ["(8,2)"]
+        assert "(8,2)" in report["proposed_beats_parenthesized"]
+
+    def test_rendering_helpers(self, comparison):
+        assert "(8,2)" in comparison_table(comparison, title="demo")
+        side_by_side = compare_to_paper(comparison)
+        assert "thiswork" in side_by_side and "33" in side_by_side

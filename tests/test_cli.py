@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["methods"]).command == "methods"
+        assert parser.parse_args(["tables", "-m", "8", "-n", "2"]).m == 8
+        assert parser.parse_args(["compare", "--fields", "8:2"]).fields == "8:2"
+
+
+class TestCommands:
+    def test_methods_lists_all_constructions(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("thiswork", "imana2016", "paar", "rashidi"):
+            assert name in out
+
+    def test_fields_lists_catalog(self, capsys):
+        assert main(["fields"]) == 0
+        out = capsys.readouterr().out
+        assert "(163,66)" in out and "NIST" in out
+
+    def test_tables_command_prints_paper_rows(self, capsys):
+        assert main(["tables", "-m", "8", "-n", "2", "--which", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "c0 = S1 + T0 + T4 + T5 + T6;" in out
+
+    def test_generate_command(self, capsys):
+        assert main(["generate", "-m", "8", "-n", "2", "--method", "imana2016"]) == 0
+        out = capsys.readouterr().out
+        assert "imana2016" in out and "verified" in out
+
+    def test_implement_command(self, capsys):
+        assert main(["implement", "-m", "8", "-n", "2", "--method", "thiswork", "--effort", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "luts" in out and "delay_ns" in out
+
+    def test_compare_command_with_claims(self, capsys):
+        assert main(["compare", "--fields", "8:2", "--methods", "thiswork,imana2016", "--effort", "1", "--claims"]) == 0
+        out = capsys.readouterr().out
+        assert "thiswork" in out and "proposed_beats_parenthesized" in out
+
+    def test_compare_command_with_paper_columns(self, capsys):
+        assert main(["compare", "--fields", "8:2", "--methods", "thiswork", "--effort", "1", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+
+    def test_emit_vhdl_to_stdout(self, capsys):
+        assert main(["emit", "-m", "8", "-n", "2", "--language", "vhdl"]) == 0
+        assert "entity gf2m_multiplier is" in capsys.readouterr().out
+
+    def test_emit_verilog_with_testbench_to_file(self, tmp_path, capsys):
+        output = tmp_path / "mult.v"
+        assert main([
+            "emit", "-m", "8", "-n", "2", "--language", "verilog", "--testbench",
+            "--output", str(output),
+        ]) == 0
+        text = output.read_text()
+        assert "module gf2m_multiplier" in text and "tb_gf2m_multiplier" in text
+
+    def test_emit_behavioral_vhdl(self, capsys):
+        assert main(["emit", "-m", "8", "-n", "2", "--language", "vhdl-behavioral", "--method", "imana2016"]) == 0
+        assert "architecture behavioral" in capsys.readouterr().out

@@ -1,0 +1,151 @@
+"""Unit tests for GF(2^m) field arithmetic (the functional reference model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.galois.field import FieldElement, GF2mField
+from repro.galois.gf2poly import poly_to_string
+from repro.galois.pentanomials import type_ii_pentanomial
+
+
+class TestConstruction:
+    def test_rejects_reducible_modulus_by_default(self):
+        with pytest.raises(ValueError):
+            GF2mField(0b101)     # (y + 1)^2
+
+    def test_quotient_ring_allowed_when_requested(self):
+        ring = GF2mField(0b101, check_irreducible=False)
+        assert not ring.is_field
+        assert ring.multiply(0b10, 0b10) == 0b01  # y^2 = 1 mod (y+1)^2... y^2 mod (y^2+1) = 1
+
+    def test_basic_metadata(self, gf28_field):
+        assert gf28_field.m == 8
+        assert gf28_field.order == 256
+        assert gf28_field.is_field
+        assert gf28_field.modulus_string() == "y^8 + y^4 + y^3 + y^2 + 1"
+        assert gf28_field.type_ii_parameters() == (8, 2)
+
+    def test_equality_and_hash(self, gf28_modulus):
+        assert GF2mField(gf28_modulus) == GF2mField(gf28_modulus)
+        assert hash(GF2mField(gf28_modulus)) == hash(GF2mField(gf28_modulus))
+        assert GF2mField(gf28_modulus) != GF2mField(0b1011)
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self, gf28_field):
+        assert gf28_field.add(0x57, 0x83) == 0x57 ^ 0x83
+
+    def test_multiplication_by_zero_and_one(self, gf28_field):
+        for value in (0, 1, 0x53, 0xFF):
+            assert gf28_field.multiply(value, 0) == 0
+            assert gf28_field.multiply(value, 1) == value
+
+    def test_multiplication_commutative_and_associative(self, gf28_field):
+        rng = random.Random(3)
+        for _ in range(200):
+            a, b, c = (rng.randrange(256) for _ in range(3))
+            assert gf28_field.multiply(a, b) == gf28_field.multiply(b, a)
+            assert gf28_field.multiply(a, gf28_field.multiply(b, c)) == gf28_field.multiply(
+                gf28_field.multiply(a, b), c
+            )
+
+    def test_distributivity(self, gf28_field):
+        rng = random.Random(4)
+        for _ in range(200):
+            a, b, c = (rng.randrange(256) for _ in range(3))
+            left = gf28_field.multiply(a, b ^ c)
+            right = gf28_field.multiply(a, b) ^ gf28_field.multiply(a, c)
+            assert left == right
+
+    def test_every_nonzero_element_has_an_inverse(self, gf28_field):
+        for value in range(1, 256):
+            assert gf28_field.multiply(value, gf28_field.inverse(value)) == 1
+
+    def test_inverse_of_zero_raises(self, gf28_field):
+        with pytest.raises(ZeroDivisionError):
+            gf28_field.inverse(0)
+
+    def test_power_matches_repeated_multiplication(self, gf28_field):
+        value = 0x57
+        accumulated = 1
+        for exponent in range(12):
+            assert gf28_field.power(value, exponent) == accumulated
+            accumulated = gf28_field.multiply(accumulated, value)
+
+    def test_fermat_little_theorem(self, gf28_field):
+        # a^(2^m) == a for all field elements.
+        for value in (1, 2, 0x53, 0xCA, 0xFF):
+            assert gf28_field.power(value, gf28_field.order) == value
+
+    def test_squaring_is_linear(self, gf28_field):
+        rng = random.Random(5)
+        for _ in range(100):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert gf28_field.square(a ^ b) == gf28_field.square(a) ^ gf28_field.square(b)
+
+    def test_trace_is_additive_and_binary(self, gf28_field):
+        rng = random.Random(6)
+        for _ in range(100):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert gf28_field.trace(a) in (0, 1)
+            assert gf28_field.trace(a ^ b) == gf28_field.trace(a) ^ gf28_field.trace(b)
+
+    def test_out_of_range_values_rejected(self, gf28_field):
+        with pytest.raises(ValueError):
+            gf28_field.multiply(256, 1)
+        with pytest.raises(ValueError):
+            gf28_field.add(-1, 1)
+
+    def test_coordinates_round_trip(self, gf28_field):
+        for value in (0, 1, 0x53, 0xFF):
+            assert gf28_field.from_coordinates(gf28_field.coordinates(value)) == value
+
+
+class TestNistField:
+    def test_gf2_163_inverse(self):
+        field = GF2mField(type_ii_pentanomial(163, 66))
+        rng = random.Random(42)
+        for _ in range(3):
+            value = rng.getrandbits(163) | 1
+            assert field.multiply(value, field.inverse(value)) == 1
+
+
+class TestFieldElement:
+    def test_operator_syntax(self, gf28_field):
+        a = gf28_field(0x57)
+        b = gf28_field(0x83)
+        assert int(a + b) == 0x57 ^ 0x83
+        assert int(a * b) == gf28_field.multiply(0x57, 0x83)
+        assert int(a - b) == int(a + b)          # characteristic 2
+        assert int((a * b) / b) == 0x57
+        assert int(a ** 2) == gf28_field.square(0x57)
+
+    def test_mixing_fields_raises(self, gf28_field):
+        other = GF2mField(0b1011)
+        with pytest.raises(ValueError):
+            _ = gf28_field(1) + other(1)
+
+    def test_coercion_of_integers(self, gf28_field):
+        assert int(gf28_field(0x57) + 1) == 0x56
+
+    def test_invalid_value_rejected(self, gf28_field):
+        with pytest.raises(ValueError):
+            FieldElement(gf28_field, 256)
+
+    def test_bool_and_trace(self, gf28_field):
+        assert not gf28_field(0)
+        assert gf28_field(5)
+        assert gf28_field(5).trace() in (0, 1)
+
+    def test_elements_iterator_small_field(self):
+        field = GF2mField(0b1011)
+        values = [int(element) for element in field.elements()]
+        assert values == list(range(8))
+
+    def test_random_element_in_range(self, gf28_field):
+        rng = random.Random(0)
+        for _ in range(20):
+            assert 0 <= int(gf28_field.random_element(rng)) < 256

@@ -1,0 +1,108 @@
+"""Tests for the VHDL/Verilog emitters and testbench generation."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.galois.field import GF2mField
+from repro.hdl.testbench import reference_vectors, vhdl_testbench
+from repro.hdl.verilog import netlist_to_verilog
+from repro.hdl.vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
+from repro.multipliers import generate_multiplier
+
+
+@pytest.fixture(scope="module")
+def thiswork_gf28(gf28_modulus=None):
+    from repro.galois.pentanomials import type_ii_pentanomial
+
+    return generate_multiplier("thiswork", type_ii_pentanomial(8, 2))
+
+
+@pytest.fixture(scope="module")
+def imana2016_gf28():
+    from repro.galois.pentanomials import type_ii_pentanomial
+
+    return generate_multiplier("imana2016", type_ii_pentanomial(8, 2))
+
+
+class TestStructuralVhdl:
+    def test_entity_and_ports(self, thiswork_gf28):
+        text = netlist_to_vhdl(thiswork_gf28.netlist, entity_name="mult8")
+        assert "entity mult8 is" in text
+        assert "a : in  std_logic_vector(7 downto 0);" in text
+        assert "c : out std_logic_vector(7 downto 0)" in text
+        assert text.count("<=") >= 8        # at least one assignment per output
+
+    def test_every_output_bit_is_driven(self, thiswork_gf28):
+        text = netlist_to_vhdl(thiswork_gf28.netlist)
+        for k in range(8):
+            assert f"c({k}) <=" in text
+
+    def test_gate_count_matches_netlist(self, imana2016_gf28):
+        text = netlist_to_vhdl(imana2016_gf28.netlist)
+        counts = imana2016_gf28.netlist.gate_counts()
+        assert text.count(" and ") == counts["and"]
+        assert text.count(" xor ") == counts["xor"]
+
+    def test_only_declared_signals_are_used(self, thiswork_gf28):
+        text = netlist_to_vhdl(thiswork_gf28.netlist)
+        declared = set(re.findall(r"signal ([^:]+) :", text))
+        declared_names = {name.strip() for chunk in declared for name in chunk.split(",")}
+        used = set(re.findall(r"\bn\d+\b", text))
+        assert used <= declared_names
+
+
+class TestBehavioralVhdl:
+    def test_flat_method_has_flat_output_expressions(self, thiswork_gf28):
+        text = multiplier_to_behavioral_vhdl(thiswork_gf28)
+        assert "architecture behavioral" in text
+        # the shared split terms appear as named signals
+        assert "signal " in text
+
+    def test_parenthesized_method_keeps_parentheses(self, imana2016_gf28):
+        text = multiplier_to_behavioral_vhdl(imana2016_gf28)
+        output_lines = [line for line in text.splitlines() if line.strip().startswith("c(")]
+        assert len(output_lines) == 8
+        assert any("((" in line for line in output_lines)
+
+    def test_mentions_method_in_header(self, thiswork_gf28):
+        assert "thiswork" in multiplier_to_behavioral_vhdl(thiswork_gf28)
+
+
+class TestVerilog:
+    def test_module_and_ports(self, thiswork_gf28):
+        text = netlist_to_verilog(thiswork_gf28.netlist, module_name="mult8")
+        assert "module mult8" in text and text.rstrip().endswith("endmodule")
+        assert "input  wire [7:0] a," in text
+        for k in range(8):
+            assert f"assign c[{k}] =" in text
+
+    def test_gate_operators_match_counts(self, imana2016_gf28):
+        text = netlist_to_verilog(imana2016_gf28.netlist)
+        counts = imana2016_gf28.netlist.gate_counts()
+        assert text.count(" & ") == counts["and"]
+        assert text.count(" ^ ") == counts["xor"]
+
+
+class TestTestbench:
+    def test_reference_vectors_are_correct(self, gf28_modulus):
+        field = GF2mField(gf28_modulus)
+        for a, b, product in reference_vectors(gf28_modulus, count=32):
+            assert product == field.multiply(a, b)
+
+    def test_reference_vectors_are_reproducible(self, gf28_modulus):
+        assert reference_vectors(gf28_modulus, seed=5) == reference_vectors(gf28_modulus, seed=5)
+        assert reference_vectors(gf28_modulus, seed=5) != reference_vectors(gf28_modulus, seed=6)
+
+    def test_testbench_structure(self, gf28_modulus):
+        text = vhdl_testbench(gf28_modulus, entity_name="mult8", count=16)
+        assert "entity tb_mult8" in text
+        assert text.count("assert c =") == 16
+        assert 'report "all multiplier vectors passed"' in text
+
+    def test_testbench_vector_width_matches_field(self, gf28_modulus):
+        text = vhdl_testbench(gf28_modulus, count=8)
+        vectors = re.findall(r'"([01]+)"', text)
+        assert vectors and all(len(vector) == 8 for vector in vectors)

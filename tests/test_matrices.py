@@ -1,0 +1,95 @@
+"""Unit tests for reduction and Mastrovito matrices."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.galois.field import GF2mField
+from repro.galois.gf2poly import degree
+from repro.galois.matrices import (
+    mastrovito_matrix,
+    matrix_vector_product,
+    multiply_with_reduction_matrix,
+    power_residues,
+    reduction_matrix,
+)
+from repro.galois.pentanomials import type_ii_pentanomial
+
+
+class TestPowerResidues:
+    def test_gf28_first_residue(self, gf28_modulus):
+        # y^8 mod f = y^4 + y^3 + y^2 + 1 = 0x1d
+        assert power_residues(gf28_modulus)[0] == 0x1D
+
+    def test_residue_count(self, gf28_modulus):
+        assert len(power_residues(gf28_modulus)) == 7   # degrees 8..14
+
+    def test_residues_match_poly_mod(self, small_moduli):
+        from repro.galois.gf2poly import poly_mod
+
+        for modulus in small_moduli:
+            m = degree(modulus)
+            residues = power_residues(modulus)
+            for i, residue in enumerate(residues):
+                assert residue == poly_mod(1 << (m + i), modulus)
+
+    def test_degenerate_range(self):
+        assert power_residues(0b111, highest_power=1) == []
+
+
+class TestReductionMatrix:
+    def test_dimensions(self, small_moduli):
+        for modulus in small_moduli:
+            m = degree(modulus)
+            rows = reduction_matrix(modulus)
+            assert len(rows) == m - 1
+            assert all(len(row) == m for row in rows)
+
+    def test_gf23_matrix(self):
+        assert reduction_matrix(0b1011) == [[1, 1, 0], [0, 1, 1]]
+
+    def test_pentanomial_first_row_has_weight_four(self, gf28_modulus):
+        # y^m mod f has the four non-leading terms of the pentanomial.
+        assert sum(reduction_matrix(gf28_modulus)[0]) == 4
+
+    def test_matrix_vector_product_dimension_check(self):
+        with pytest.raises(ValueError):
+            matrix_vector_product([[1, 0]], [1])
+
+    def test_matrix_vector_product_values(self):
+        assert matrix_vector_product([[1, 1, 0], [0, 1, 1]], [1, 1, 0]) == [0, 1]
+
+
+class TestMatrixMultiplication:
+    def test_matches_field_multiplication_exhaustive_gf23(self):
+        modulus = 0b1011
+        field = GF2mField(modulus)
+        for a in range(8):
+            for b in range(8):
+                assert multiply_with_reduction_matrix(modulus, a, b) == field.multiply(a, b)
+
+    def test_matches_field_multiplication_random(self, small_moduli):
+        rng = random.Random(12)
+        for modulus in small_moduli:
+            m = degree(modulus)
+            field = GF2mField(modulus, check_irreducible=False)
+            for _ in range(50):
+                a = rng.getrandbits(m)
+                b = rng.getrandbits(m)
+                assert multiply_with_reduction_matrix(modulus, a, b) == field.multiply(a, b)
+
+    def test_mastrovito_matrix_multiplication(self, gf28_modulus):
+        field = GF2mField(gf28_modulus)
+        rng = random.Random(13)
+        for _ in range(50):
+            a = rng.getrandbits(8)
+            b = rng.getrandbits(8)
+            matrix = mastrovito_matrix(gf28_modulus, field.coordinates(a))
+            product_bits = matrix_vector_product(matrix, field.coordinates(b))
+            assert field.from_coordinates(product_bits) == field.multiply(a, b)
+
+    def test_mastrovito_matrix_wrong_operand_length(self, gf28_modulus):
+        with pytest.raises(ValueError):
+            mastrovito_matrix(gf28_modulus, [1, 0, 1])

@@ -1,0 +1,198 @@
+"""Unit tests for the netlist IR: construction, hashing, simulation, stats, DOT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.dot import to_dot
+from repro.netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from repro.netlist.simulate import multiply_with_netlist, simulate, simulate_words
+from repro.netlist.stats import gather_stats
+
+
+def build_half_multiplier() -> Netlist:
+    """c0 = a0 b0, c1 = a0 b1 + a1 b0 — the low half of a 2x2 product."""
+    netlist = Netlist(name="half")
+    a0, a1 = netlist.add_input("a0"), netlist.add_input("a1")
+    b0, b1 = netlist.add_input("b0"), netlist.add_input("b1")
+    netlist.add_output("c0", netlist.and2(a0, b0))
+    netlist.add_output("c1", netlist.xor2(netlist.and2(a0, b1), netlist.and2(a1, b0)))
+    return netlist
+
+
+class TestConstruction:
+    def test_inputs_are_deduplicated(self):
+        netlist = Netlist()
+        assert netlist.add_input("a0") == netlist.add_input("a0")
+        assert netlist.inputs == ["a0"]
+
+    def test_structural_hashing_of_commutative_gates(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        b = netlist.add_input("b0")
+        assert netlist.and2(a, b) == netlist.and2(b, a)
+        assert netlist.xor2(a, b) == netlist.xor2(b, a)
+
+    def test_xor_of_identical_operands_is_constant_zero(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        zero = netlist.xor2(a, a)
+        assert netlist.op(zero) == OP_CONST0
+
+    def test_xor_with_constant_zero_is_identity(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        zero = netlist.const0()
+        assert netlist.xor2(a, zero) == a
+
+    def test_and_with_constant_zero_is_zero(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        zero = netlist.const0()
+        assert netlist.and2(a, zero) == zero
+
+    def test_and_of_identical_operands_is_idempotent(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        assert netlist.and2(a, a) == a
+
+    def test_invalid_node_reference_raises(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        with pytest.raises(ValueError):
+            netlist.and2(a, 99)
+        with pytest.raises(ValueError):
+            netlist.add_output("c0", 99)
+
+    def test_output_lookup(self):
+        netlist = build_half_multiplier()
+        assert netlist.output_node("c0") == netlist.outputs[0][1]
+        with pytest.raises(KeyError):
+            netlist.output_node("c9")
+
+
+class TestXorReduce:
+    def test_empty_reduce_is_constant_zero(self):
+        netlist = Netlist()
+        assert netlist.op(netlist.xor_reduce([])) == OP_CONST0
+
+    def test_single_operand_reduce_is_identity(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        assert netlist.xor_reduce([a]) == a
+
+    def test_balanced_reduce_has_logarithmic_depth(self):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"a{i}") for i in range(16)]
+        root = netlist.xor_reduce(inputs, style="balanced")
+        netlist.add_output("c0", root)
+        assert netlist.depth() == 4
+
+    def test_chain_reduce_has_linear_depth(self):
+        netlist = Netlist()
+        inputs = [netlist.add_input(f"a{i}") for i in range(16)]
+        root = netlist.xor_reduce(inputs, style="chain")
+        netlist.add_output("c0", root)
+        assert netlist.depth() == 15
+
+    def test_unknown_style_raises(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        with pytest.raises(ValueError):
+            netlist.xor_reduce([a, a], style="spiral")
+
+
+class TestAnalysis:
+    def test_gate_counts_and_levels(self):
+        netlist = build_half_multiplier()
+        counts = netlist.gate_counts()
+        assert counts == {"and": 3, "xor": 1}
+        assert netlist.depth() == 2
+        assert netlist.xor_depth() == 1
+
+    def test_live_nodes_excludes_dangling_logic(self):
+        netlist = build_half_multiplier()
+        a0 = netlist.input_node("a0")
+        a1 = netlist.input_node("a1")
+        netlist.xor2(a0, a1)   # dangling gate, no output uses it
+        live_gates = [node for node in netlist.live_nodes() if netlist.is_gate(node)]
+        assert len(live_gates) == 4
+        assert netlist.gate_counts(live_only=False)["xor"] == 2
+
+    def test_fanout_counts(self):
+        netlist = build_half_multiplier()
+        fanout = netlist.fanout_counts()
+        assert fanout[netlist.input_node("a0")] == 2      # feeds two AND gates
+        assert fanout[netlist.output_node("c1")] == 1     # the output pin
+
+    def test_stats_object(self):
+        stats = gather_stats(build_half_multiplier())
+        assert stats.and_gates == 3 and stats.xor_gates == 1
+        assert stats.total_gates == 4
+        assert stats.inputs == 4 and stats.outputs == 2
+        assert stats.delay_expression() == "TA + 1TX"
+        assert stats.as_dict()["depth"] == 2
+
+    def test_summary_mentions_counts(self):
+        text = build_half_multiplier().summary()
+        assert "3 AND" in text and "1 XOR" in text
+
+
+class TestSimulation:
+    def test_truth_table_of_half_multiplier(self):
+        netlist = build_half_multiplier()
+        # Evaluate all 16 combinations of (a1 a0 b1 b0) bit-parallel.
+        width = 16
+        assignments = {"a0": 0, "a1": 0, "b0": 0, "b1": 0}
+        for vector in range(width):
+            a = vector & 3
+            b = vector >> 2
+            assignments["a0"] |= (a & 1) << vector
+            assignments["a1"] |= (a >> 1) << vector
+            assignments["b0"] |= (b & 1) << vector
+            assignments["b1"] |= (b >> 1) << vector
+        outputs = simulate(netlist, assignments, width=width)
+        for vector in range(width):
+            a = vector & 3
+            b = vector >> 2
+            c0 = (outputs["c0"] >> vector) & 1
+            c1 = (outputs["c1"] >> vector) & 1
+            assert c0 == (a & 1) & (b & 1)
+            assert c1 == ((a & 1) & (b >> 1)) ^ ((a >> 1) & (b & 1))
+
+    def test_missing_input_raises(self):
+        netlist = build_half_multiplier()
+        with pytest.raises(KeyError):
+            simulate(netlist, {"a0": 1}, width=1)
+
+    def test_invalid_width_raises(self):
+        netlist = build_half_multiplier()
+        with pytest.raises(ValueError):
+            simulate(netlist, {"a0": 0, "a1": 0, "b0": 0, "b1": 0}, width=0)
+
+    def test_simulate_words_length_mismatch(self):
+        netlist = build_half_multiplier()
+        with pytest.raises(ValueError):
+            simulate_words(netlist, 2, [1, 2], [3])
+
+    def test_multiply_with_netlist_on_generated_multiplier(self, gf28_modulus, gf28_field):
+        from repro.multipliers import generate_multiplier
+
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        assert multiply_with_netlist(multiplier.netlist, 8, 0x57, 0x83) == gf28_field.multiply(0x57, 0x83)
+
+
+class TestDotExport:
+    def test_dot_contains_nodes_and_outputs(self):
+        text = to_dot(build_half_multiplier())
+        assert text.startswith("digraph")
+        assert "out_c0" in text and "out_c1" in text
+        assert "AND" in text and "XOR" in text
+
+    def test_dot_size_guard(self, gf28_modulus):
+        from repro.multipliers import generate_multiplier
+
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        with pytest.raises(ValueError):
+            to_dot(multiplier.netlist, max_nodes=10)
+        assert to_dot(multiplier.netlist, max_nodes=None)

@@ -1,0 +1,130 @@
+"""Unit tests for the pentanomial constructors and the paper's field catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois.gf2poly import is_irreducible, weight
+from repro.galois.pentanomials import (
+    NIST_ECDSA_DEGREES,
+    PAPER_TABLE5_FIELDS,
+    FieldSpec,
+    field_catalog,
+    find_type_ii_pentanomials,
+    is_type_ii_pentanomial,
+    lookup_field,
+    smallest_type_ii_pentanomial,
+    trinomial,
+    type_i_pentanomial,
+    type_ii_parameters,
+    type_ii_pentanomial,
+)
+
+
+class TestConstruction:
+    def test_paper_gf28_pentanomial(self):
+        assert type_ii_pentanomial(8, 2) == 0b100011101
+
+    def test_all_type_ii_pentanomials_have_weight_five(self):
+        for m, n in [(8, 2), (64, 23), (113, 34), (163, 66)]:
+            assert weight(type_ii_pentanomial(m, n)) == 5
+
+    def test_n_range_validation(self):
+        with pytest.raises(ValueError):
+            type_ii_pentanomial(8, 1)
+        with pytest.raises(ValueError):
+            type_ii_pentanomial(8, 4)   # n must be <= floor(m/2) - 1 = 3
+        type_ii_pentanomial(8, 3)       # boundary value is accepted
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ValueError):
+            type_ii_pentanomial(5, 2)
+
+    def test_type_i_pentanomial_shape(self):
+        poly = type_i_pentanomial(10, 4)
+        assert weight(poly) == 5
+        assert poly >> 10 == 1
+
+    def test_trinomial_shape(self):
+        assert trinomial(7, 3) == (1 << 7) | (1 << 3) | 1
+        with pytest.raises(ValueError):
+            trinomial(7, 7)
+
+
+class TestRecognition:
+    def test_parameters_round_trip(self):
+        for m, n in [(8, 2), (64, 23), (163, 68)]:
+            assert type_ii_parameters(type_ii_pentanomial(m, n)) == (m, n)
+
+    def test_non_pentanomials_are_rejected(self):
+        assert type_ii_parameters(0b1011) is None
+        assert not is_type_ii_pentanomial(trinomial(8, 3))
+
+    def test_type_i_is_not_type_ii(self):
+        assert not is_type_ii_pentanomial(type_i_pentanomial(10, 4))
+
+    def test_non_consecutive_middle_terms_rejected(self):
+        # y^8 + y^5 + y^3 + y^2 + 1 has weight 5 but is not type II.
+        poly = (1 << 8) | (1 << 5) | (1 << 3) | (1 << 2) | 1
+        assert type_ii_parameters(poly) is None
+
+
+class TestSearch:
+    def test_gf28_search_finds_n_equal_2(self):
+        assert smallest_type_ii_pentanomial(8) == type_ii_pentanomial(8, 2)
+
+    def test_some_degrees_have_no_type_ii_pentanomial(self):
+        # Degrees 9, 12, 15 have no irreducible type II pentanomial.
+        for m in (9, 12, 15):
+            assert smallest_type_ii_pentanomial(m) is None
+
+    def test_search_results_are_irreducible_type_ii(self):
+        for poly in find_type_ii_pentanomials(20):
+            assert is_type_ii_pentanomial(poly)
+            assert is_irreducible(poly)
+
+    def test_limit_is_respected(self):
+        assert len(find_type_ii_pentanomials(64, limit=2)) == 2
+
+
+class TestCatalog:
+    def test_catalog_has_nine_fields(self):
+        assert len(PAPER_TABLE5_FIELDS) == 9
+
+    def test_every_catalog_field_is_irreducible(self):
+        for spec in PAPER_TABLE5_FIELDS:
+            assert is_irreducible(spec.modulus), spec.name
+
+    def test_catalog_covers_paper_field_list(self):
+        pairs = {(spec.m, spec.n) for spec in PAPER_TABLE5_FIELDS}
+        assert pairs == {
+            (8, 2), (64, 23), (113, 4), (113, 34), (122, 49),
+            (139, 59), (148, 72), (163, 66), (163, 68),
+        }
+
+    def test_nist_degree_163_present(self):
+        assert 163 in NIST_ECDSA_DEGREES
+        nist = [spec for spec in PAPER_TABLE5_FIELDS if spec.standard == "NIST"]
+        assert {spec.m for spec in nist} == {163}
+
+    def test_field_catalog_keys(self):
+        catalog = field_catalog()
+        assert "(8,2)" in catalog and "(163,68)" in catalog
+
+    def test_lookup_field_returns_catalog_entry(self):
+        spec = lookup_field(163, 66)
+        assert spec.standard == "NIST"
+
+    def test_lookup_field_builds_uncataloged_spec(self):
+        spec = lookup_field(32, 11)
+        assert isinstance(spec, FieldSpec)
+        assert spec.m == 32
+
+    def test_lookup_field_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lookup_field(32, 30)
+
+    def test_field_spec_strings(self):
+        spec = lookup_field(8, 2)
+        assert spec.name == "GF(2^8)/(8,2)"
+        assert spec.modulus_string() == "y^8 + y^4 + y^3 + y^2 + 1"

@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on the core algebraic structures and passes."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.galois.field import GF2mField
+from repro.galois.gf2poly import clmul, degree, poly_divmod, poly_gcd, poly_mod
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.multipliers import generate_multiplier
+from repro.netlist.simulate import multiply_with_netlist
+from repro.spec.product_spec import ProductSpec
+from repro.spec.siti import convolution_pairs, s_function, t_function
+from repro.synth.xor_cse import greedy_share, group_by_signature
+
+polynomials = st.integers(min_value=0, max_value=(1 << 48) - 1)
+nonzero_polynomials = st.integers(min_value=1, max_value=(1 << 48) - 1)
+
+GF28 = GF2mField(type_ii_pentanomial(8, 2))
+GF2_16 = GF2mField(type_ii_pentanomial(16, 3))
+
+
+class TestPolynomialProperties:
+    @given(polynomials, polynomials)
+    def test_clmul_commutes(self, a, b):
+        assert clmul(a, b) == clmul(b, a)
+
+    @given(polynomials, polynomials, polynomials)
+    def test_clmul_is_associative(self, a, b, c):
+        assert clmul(clmul(a, b), c) == clmul(a, clmul(b, c))
+
+    @given(polynomials, polynomials, polynomials)
+    def test_clmul_distributes(self, a, b, c):
+        assert clmul(a, b ^ c) == clmul(a, b) ^ clmul(a, c)
+
+    @given(polynomials, nonzero_polynomials)
+    def test_divmod_reconstruction(self, dividend, divisor):
+        quotient, remainder = poly_divmod(dividend, divisor)
+        assert clmul(quotient, divisor) ^ remainder == dividend
+        assert degree(remainder) < degree(divisor)
+
+    @given(polynomials, polynomials)
+    def test_gcd_divides_both(self, a, b):
+        assume(a or b)
+        gcd = poly_gcd(a, b)
+        assert gcd != 0
+        assert poly_mod(a, gcd) == 0
+        assert poly_mod(b, gcd) == 0
+
+
+class TestFieldProperties:
+    elements8 = st.integers(min_value=0, max_value=255)
+
+    @given(elements8, elements8)
+    def test_multiplication_commutes(self, a, b):
+        assert GF28.multiply(a, b) == GF28.multiply(b, a)
+
+    @given(elements8, elements8, elements8)
+    def test_multiplication_associates(self, a, b, c):
+        assert GF28.multiply(a, GF28.multiply(b, c)) == GF28.multiply(GF28.multiply(a, b), c)
+
+    @given(elements8, elements8, elements8)
+    def test_distributivity(self, a, b, c):
+        assert GF28.multiply(a, b ^ c) == GF28.multiply(a, b) ^ GF28.multiply(a, c)
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_inverse_really_inverts(self, a):
+        assert GF28.multiply(a, GF28.inverse(a)) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_squaring_is_frobenius_linear_gf2_16(self, a):
+        b = 0x1234 ^ a
+        assert GF2_16.square(a ^ b) == GF2_16.square(a) ^ GF2_16.square(b)
+
+
+class TestSpecProperties:
+    @given(st.integers(min_value=4, max_value=40), st.data())
+    @settings(max_examples=40)
+    def test_s_and_t_functions_match_convolution(self, m, data):
+        i = data.draw(st.integers(min_value=1, max_value=m))
+        assert s_function(m, i).pairs() == convolution_pairs(m, i - 1)
+        j = data.draw(st.integers(min_value=0, max_value=m - 2))
+        assert t_function(m, j).pairs() == convolution_pairs(m, m + j)
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_product_spec_evaluation_matches_field(self, a, b):
+        spec = ProductSpec.from_modulus(GF28.modulus)
+        assert spec.evaluate(a, b) == GF28.multiply(a, b)
+
+
+class TestNetlistProperties:
+    MULTIPLIER = generate_multiplier("thiswork", type_ii_pentanomial(8, 2))
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60)
+    def test_generated_netlist_multiplies_correctly(self, a, b):
+        assert multiply_with_netlist(self.MULTIPLIER.netlist, 8, a, b) == GF28.multiply(a, b)
+
+
+def _evaluate_rows(rows, definitions, leaf_values):
+    """GF(2)-evaluate shared definitions + rows over concrete leaf values."""
+    values = dict(leaf_values)
+    for virtual, members in definitions:
+        acc = 0
+        for member in members:
+            acc ^= values[member]
+        values[virtual] = acc
+    return {
+        name: __import__("functools").reduce(lambda x, y: x ^ y, (values[leaf] for leaf in leaves), 0)
+        for name, leaves in rows.items()
+    }
+
+
+class TestSharingProperties:
+    leaf_lists = st.dictionaries(
+        keys=st.sampled_from([f"c{i}" for i in range(6)]),
+        values=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=12, unique=True),
+        min_size=1,
+        max_size=6,
+    )
+
+    @given(leaf_lists, st.integers(min_value=0, max_value=3), st.data())
+    @settings(max_examples=60)
+    def test_greedy_share_preserves_parity_semantics(self, rows, rounds, data):
+        new_rows, definitions = greedy_share(rows, rounds=rounds, first_virtual_id=1000)
+        rng = random.Random(data.draw(st.integers(min_value=0, max_value=2 ** 16)))
+        leaf_values = {leaf: rng.getrandbits(1) for leaves in rows.values() for leaf in leaves}
+        before = {
+            name: __import__("functools").reduce(lambda x, y: x ^ y, (leaf_values[leaf] for leaf in leaves), 0)
+            for name, leaves in rows.items()
+        }
+        after = _evaluate_rows(new_rows, definitions, leaf_values)
+        assert before == after
+
+    @given(leaf_lists, st.data())
+    @settings(max_examples=60)
+    def test_group_sharing_preserves_parity_semantics(self, rows, data):
+        new_rows, definitions, _ = group_by_signature(rows, first_virtual_id=1000)
+        rng = random.Random(data.draw(st.integers(min_value=0, max_value=2 ** 16)))
+        leaf_values = {leaf: rng.getrandbits(1) for leaves in rows.values() for leaf in leaves}
+        before = {
+            name: __import__("functools").reduce(lambda x, y: x ^ y, (leaf_values[leaf] for leaf in leaves), 0)
+            for name, leaves in rows.items()
+        }
+        after = _evaluate_rows(new_rows, definitions, leaf_values)
+        assert before == after

@@ -1,0 +1,70 @@
+"""Tests for the parenthesized (delay-restricted) coefficient trees — paper Table III."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.spec.parenthesize import parenthesize_coefficient, parenthesized_coefficients
+from repro.spec.product_spec import ProductSpec
+from repro.spec.reduction import SplitCoefficient, split_coefficients
+
+
+class TestGF28Delay:
+    def test_paper_delay_bound_ta_plus_5tx(self, gf28_modulus):
+        # Table III / Section II: the parenthesized GF(2^8) multiplier has
+        # delay T_A + 5 T_X, i.e. the deepest coefficient needs 5 XOR levels.
+        depths = [coefficient.xor_depth for coefficient in parenthesized_coefficients(gf28_modulus)]
+        assert max(depths) == 5
+
+    def test_individual_depths_never_below_split_levels(self, gf28_modulus):
+        for flat, parenthesized in zip(
+            split_coefficients(gf28_modulus), parenthesized_coefficients(gf28_modulus)
+        ):
+            assert parenthesized.xor_depth >= flat.max_level()
+
+    def test_rendered_strings_have_balanced_parentheses(self, gf28_modulus):
+        for coefficient in parenthesized_coefficients(gf28_modulus):
+            text = coefficient.to_string()
+            assert text.count("(") == text.count(")")
+            assert text.startswith(f"c{coefficient.k} = ")
+
+
+class TestStructure:
+    def test_leaves_preserve_the_flat_terms(self, gf28_modulus):
+        for flat, parenthesized in zip(
+            split_coefficients(gf28_modulus), parenthesized_coefficients(gf28_modulus)
+        ):
+            assert sorted(term.label for term in parenthesized.terms()) == sorted(flat.labels)
+
+    def test_pairing_is_huffman_optimal_on_equal_levels(self):
+        # Eight level-0 terms must combine into a depth-3 complete tree.
+        modulus = type_ii_pentanomial(8, 2)
+        flat = split_coefficients(modulus)[0]
+        tree = parenthesize_coefficient(flat)
+        # c0 has terms at levels [0,0,0,0,1,1,1,2] -> optimal merge depth is 4.
+        assert tree.xor_depth == 4
+
+    def test_depth_above_terms_consistency(self, gf28_modulus):
+        for coefficient in parenthesized_coefficients(gf28_modulus):
+            assert coefficient.tree.depth_above_terms() <= coefficient.xor_depth
+
+    def test_empty_coefficient_rejected(self, gf28_modulus):
+        empty = SplitCoefficient(0, tuple())
+        with pytest.raises(ValueError):
+            parenthesize_coefficient(empty)
+
+    def test_degenerate_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            parenthesized_coefficients(0b10)
+
+    @pytest.mark.parametrize("pair", [(16, 3), (20, 5), (23, 9)])
+    def test_depth_close_to_lower_bound_for_larger_fields(self, pair):
+        import math
+
+        modulus = type_ii_pentanomial(*pair)
+        spec = ProductSpec.from_modulus(modulus)
+        for coefficient in parenthesized_coefficients(modulus):
+            lower_bound = math.ceil(math.log2(spec.pair_count(coefficient.k)))
+            assert coefficient.xor_depth >= lower_bound
+            assert coefficient.xor_depth <= lower_bound + 2

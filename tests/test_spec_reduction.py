@@ -1,0 +1,119 @@
+"""Tests for the reduction into S/T space: paper Tables I and IV, and the ProductSpec."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.galois.field import GF2mField
+from repro.galois.gf2poly import degree
+from repro.galois.pentanomials import PAPER_TABLE5_FIELDS, type_ii_pentanomial
+from repro.spec.product_spec import ProductSpec
+from repro.spec.reduction import (
+    coefficient_pairs,
+    spec_from_st,
+    split_coefficients,
+    st_coefficients,
+)
+
+
+class TestPaperTable1:
+    """Verbatim comparison with the paper's Table I for GF(2^8), (m, n) = (8, 2)."""
+
+    EXPECTED = [
+        "c0 = S1 + T0 + T4 + T5 + T6",
+        "c1 = S2 + T1 + T5 + T6",
+        "c2 = S3 + T0 + T2 + T4 + T5",
+        "c3 = S4 + T0 + T1 + T3 + T4",
+        "c4 = S5 + T0 + T1 + T2 + T6",
+        "c5 = S6 + T1 + T2 + T3",
+        "c6 = S7 + T2 + T3 + T4",
+        "c7 = S8 + T3 + T4 + T5",
+    ]
+
+    def test_table1_matches_paper(self, gf28_modulus):
+        rendered = [row.to_string() for row in st_coefficients(gf28_modulus)]
+        assert rendered == self.EXPECTED
+
+    def test_every_coefficient_contains_its_s_function(self, small_moduli):
+        for modulus in small_moduli:
+            for row in st_coefficients(modulus):
+                assert row.s_indices == (row.k + 1,)
+
+
+class TestPaperTable4:
+    """Verbatim comparison with the paper's Table IV (flat split coefficients)."""
+
+    EXPECTED = [
+        "c0 = S1^0 + T0^2 + T0^1 + T0^0 + T4^1 + T4^0 + T5^1 + T6^0",
+        "c1 = S2^1 + T1^2 + T1^1 + T5^1 + T6^0",
+        "c2 = S3^1 + S3^0 + T0^2 + T0^1 + T0^0 + T2^2 + T2^0 + T4^1 + T4^0 + T5^1",
+        "c3 = S4^2 + T0^2 + T0^1 + T0^0 + T1^2 + T1^1 + T3^2 + T4^1 + T4^0",
+        "c4 = S5^2 + S5^0 + T0^2 + T0^1 + T0^0 + T1^2 + T1^1 + T2^2 + T2^0 + T6^0",
+        "c5 = S6^2 + S6^1 + T1^2 + T1^1 + T2^2 + T2^0 + T3^2",
+        "c6 = S7^2 + S7^1 + S7^0 + T2^2 + T2^0 + T3^2 + T4^1 + T4^0",
+        "c7 = S8^3 + T3^2 + T4^1 + T4^0 + T5^1",
+    ]
+
+    def test_table4_matches_paper(self, gf28_modulus):
+        rendered = [row.to_string() for row in split_coefficients(gf28_modulus)]
+        assert rendered == self.EXPECTED
+
+    def test_flat_coefficients_expand_to_spec_pairs(self, small_moduli):
+        for modulus in small_moduli:
+            spec = ProductSpec.from_modulus(modulus)
+            for row in split_coefficients(modulus):
+                assert row.pairs() == spec.pairs(row.k)
+
+    def test_max_level_bounded_by_log2_m(self, gf28_modulus):
+        for row in split_coefficients(gf28_modulus):
+            assert row.max_level() <= 3
+
+
+class TestProductSpec:
+    def test_spec_from_st_equals_spec_from_modulus(self, small_moduli):
+        for modulus in small_moduli:
+            assert spec_from_st(modulus) == ProductSpec.from_modulus(modulus)
+
+    def test_spec_from_st_for_paper_fields(self):
+        # The full cross-check for every field of the paper's Table V.
+        for spec_field in PAPER_TABLE5_FIELDS:
+            modulus = spec_field.modulus
+            assert coefficient_pairs(modulus) == list(ProductSpec.from_modulus(modulus).outputs)
+
+    def test_spec_evaluation_matches_field_multiplication(self, small_moduli):
+        rng = random.Random(21)
+        for modulus in small_moduli:
+            m = degree(modulus)
+            field = GF2mField(modulus, check_irreducible=False)
+            spec = ProductSpec.from_modulus(modulus)
+            for _ in range(60):
+                a = rng.getrandbits(m)
+                b = rng.getrandbits(m)
+                assert spec.evaluate(a, b) == field.multiply(a, b)
+
+    def test_spec_covers_whole_product_grid(self, gf28_modulus):
+        spec = ProductSpec.from_modulus(gf28_modulus)
+        assert spec.distinct_pairs() == frozenset((i, j) for i in range(8) for j in range(8))
+
+    def test_pair_counts_and_totals(self, gf28_modulus):
+        spec = ProductSpec.from_modulus(gf28_modulus)
+        assert spec.m == 8
+        assert spec.total_pair_references() == sum(spec.pair_count(k) for k in range(8))
+        assert all(spec.pair_count(k) >= 8 for k in range(8))
+
+    def test_from_pair_sets_validation(self, gf28_modulus):
+        with pytest.raises(ValueError):
+            ProductSpec.from_pair_sets(gf28_modulus, [frozenset()] * 3)
+
+    def test_as_dict_and_hash(self, gf28_modulus):
+        spec = ProductSpec.from_modulus(gf28_modulus)
+        assert set(spec.as_dict()) == set(range(8))
+        assert hash(spec) == hash(ProductSpec.from_modulus(gf28_modulus))
+
+    def test_degenerate_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            ProductSpec.from_modulus(1)
+        with pytest.raises(ValueError):
+            st_coefficients(0b10)

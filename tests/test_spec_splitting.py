@@ -1,0 +1,108 @@
+"""Unit tests for the splitting of S_i / T_i into complete-tree terms (paper Table II)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.spec.siti import all_s_functions, all_t_functions, s_function, t_function
+from repro.spec.splitting import SplitTerm, split_all_functions, split_function, split_table
+from repro.spec.terms import x_atom, z_atom
+
+
+class TestPaperTable2:
+    """Verbatim comparison with the paper's Table II for GF(2^8)."""
+
+    EXPECTED = {
+        "S1^0": "S1^0 = x0",
+        "S2^1": "S2^1 = z0^1",
+        "S3^0": "S3^0 = x1",
+        "S3^1": "S3^1 = z0^2",
+        "S4^2": "S4^2 = (z0^3 + z1^2)",
+        "S5^0": "S5^0 = x2",
+        "S5^2": "S5^2 = (z0^4 + z1^3)",
+        "S6^1": "S6^1 = z0^5",
+        "S6^2": "S6^2 = (z1^4 + z2^3)",
+        "S7^0": "S7^0 = x3",
+        "S7^1": "S7^1 = z0^6",
+        "S7^2": "S7^2 = (z1^5 + z2^4)",
+        "S8^3": "S8^3 = (z0^7 + z1^6 + z2^5 + z3^4)",
+        "T0^0": "T0^0 = x4",
+        "T0^1": "T0^1 = z1^7",
+        "T0^2": "T0^2 = (z2^6 + z3^5)",
+        "T1^1": "T1^1 = z2^7",
+        "T1^2": "T1^2 = (z3^6 + z4^5)",
+        "T2^0": "T2^0 = x5",
+        "T2^2": "T2^2 = (z3^7 + z4^6)",
+        "T3^2": "T3^2 = (z4^7 + z5^6)",
+        "T4^0": "T4^0 = x6",
+        "T4^1": "T4^1 = z5^7",
+        "T5^1": "T5^1 = z6^7",
+        "T6^0": "T6^0 = x7",
+    }
+
+    def test_every_paper_term_is_reproduced(self):
+        table = split_table(8)
+        for label, text in self.EXPECTED.items():
+            assert label in table, f"missing split term {label}"
+            assert table[label].to_string() == text
+
+    def test_no_spurious_terms(self):
+        assert set(split_table(8)) == set(self.EXPECTED)
+
+
+class TestSplitInvariants:
+    @pytest.mark.parametrize("m", [8, 11, 13, 16, 23, 32])
+    def test_split_preserves_pairs(self, m):
+        for function in all_s_functions(m) + all_t_functions(m):
+            terms = split_function(function)
+            union = frozenset().union(*(term.pairs() for term in terms)) if terms else frozenset()
+            assert union == function.pairs()
+            # Terms never overlap.
+            total = sum(len(term.pairs()) for term in terms)
+            assert total == len(function.pairs())
+
+    @pytest.mark.parametrize("m", [8, 16, 23])
+    def test_term_sizes_follow_binary_expansion(self, m):
+        for function in all_s_functions(m) + all_t_functions(m):
+            terms = split_function(function)
+            sizes = sorted(term.product_count for term in terms)
+            assert sum(sizes) == function.product_count
+            assert len(sizes) == bin(function.product_count).count("1")
+            assert all(size & (size - 1) == 0 for size in sizes)   # powers of two
+
+    @pytest.mark.parametrize("m", [8, 16, 23])
+    def test_levels_are_unique_within_a_function(self, m):
+        for function in all_s_functions(m) + all_t_functions(m):
+            levels = [term.level for term in split_function(function)]
+            assert len(levels) == len(set(levels))
+            assert levels == sorted(levels)
+
+    def test_maximum_level_is_log2_m(self):
+        for m in (8, 16, 32):
+            table = split_table(m)
+            assert max(term.level for term in table.values()) == int(math.log2(m))
+
+    def test_split_all_functions_keys(self):
+        split_map = split_all_functions(8)
+        assert set(split_map) == {f"S{i}" for i in range(1, 9)} | {f"T{i}" for i in range(7)}
+
+
+class TestSplitTermValidation:
+    def test_wrong_product_count_raises(self):
+        with pytest.raises(ValueError):
+            SplitTerm("S", 3, 2, (x_atom(0),))          # level 2 must hold 4 products
+
+    def test_invalid_kind_raises(self):
+        with pytest.raises(ValueError):
+            SplitTerm("Q", 1, 0, (x_atom(0),))
+
+    def test_negative_level_raises(self):
+        with pytest.raises(ValueError):
+            SplitTerm("S", 1, -1, (x_atom(0),))
+
+    def test_label_and_repr(self):
+        term = SplitTerm("T", 0, 2, (z_atom(2, 6), z_atom(3, 5)))
+        assert term.label == "T0^2"
+        assert "T0^2" in repr(term)

@@ -1,0 +1,126 @@
+"""Unit tests for the partial-product atoms and the S_i / T_i functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec.siti import (
+    all_s_functions,
+    all_t_functions,
+    convolution_pairs,
+    s_function,
+    st_functions,
+    t_function,
+)
+from repro.spec.terms import Atom, atoms_to_string, pairs_of_atoms, x_atom, z_atom
+
+
+class TestAtoms:
+    def test_x_atom_properties(self):
+        atom = x_atom(4)
+        assert atom.is_x and not atom.is_z
+        assert atom.product_count == 1
+        assert atom.pairs() == frozenset({(4, 4)})
+        assert atom.label() == "x4"
+        assert atom.expression() == "a4*b4"
+
+    def test_z_atom_properties(self):
+        atom = z_atom(1, 7)
+        assert atom.is_z and not atom.is_x
+        assert atom.product_count == 2
+        assert atom.pairs() == frozenset({(1, 7), (7, 1)})
+        assert atom.label() == "z1^7"
+        assert "a1*b7" in atom.expression()
+
+    def test_z_atom_is_canonicalised(self):
+        assert z_atom(7, 1) == z_atom(1, 7)
+
+    def test_z_atom_rejects_equal_indices(self):
+        with pytest.raises(ValueError):
+            z_atom(3, 3)
+
+    def test_atom_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            Atom(-1, 2)
+
+    def test_pairs_of_atoms_union(self):
+        atoms = [x_atom(0), z_atom(1, 2)]
+        assert pairs_of_atoms(atoms) == frozenset({(0, 0), (1, 2), (2, 1)})
+
+    def test_atoms_to_string(self):
+        assert atoms_to_string([x_atom(4), z_atom(1, 7)]) == "x4 + z1^7"
+        assert atoms_to_string([]) == "0"
+
+
+class TestPaperGF28Example:
+    """The S_i / T_i expansions printed in the paper's Section II for GF(2^8)."""
+
+    def test_s_functions_match_paper(self):
+        expected = {
+            1: "S1 = x0",
+            2: "S2 = z0^1",
+            3: "S3 = x1 + z0^2",
+            4: "S4 = z0^3 + z1^2",
+            5: "S5 = x2 + z0^4 + z1^3",
+            6: "S6 = z0^5 + z1^4 + z2^3",
+            7: "S7 = x3 + z0^6 + z1^5 + z2^4",
+            8: "S8 = z0^7 + z1^6 + z2^5 + z3^4",
+        }
+        for i, text in expected.items():
+            assert s_function(8, i).to_string() == text
+
+    def test_t_functions_match_paper(self):
+        expected = {
+            0: "T0 = x4 + z1^7 + z2^6 + z3^5",
+            1: "T1 = z2^7 + z3^6 + z4^5",
+            2: "T2 = x5 + z3^7 + z4^6",
+            3: "T3 = z4^7 + z5^6",
+            4: "T4 = x6 + z5^7",
+            5: "T5 = z6^7",
+            6: "T6 = x7",
+        }
+        for i, text in expected.items():
+            assert t_function(8, i).to_string() == text
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("m", [4, 7, 8, 11, 16, 23])
+    def test_s_equals_low_convolution_coefficient(self, m):
+        for i in range(1, m + 1):
+            assert s_function(m, i).pairs() == convolution_pairs(m, i - 1)
+
+    @pytest.mark.parametrize("m", [4, 7, 8, 11, 16, 23])
+    def test_t_equals_high_convolution_coefficient(self, m):
+        for i in range(m - 1):
+            assert t_function(m, i).pairs() == convolution_pairs(m, m + i)
+
+    @pytest.mark.parametrize("m", [8, 13, 20])
+    def test_product_counts(self, m):
+        # S_i holds i partial products; T_i holds m - 1 - i.
+        for i in range(1, m + 1):
+            assert s_function(m, i).product_count == i
+        for i in range(m - 1):
+            assert t_function(m, i).product_count == m - 1 - i
+
+    def test_all_functions_partition_the_product_grid(self):
+        m = 11
+        seen = set()
+        for function in all_s_functions(m) + all_t_functions(m):
+            pairs = function.pairs()
+            assert not (pairs & seen)
+            seen |= pairs
+        assert seen == {(i, j) for i in range(m) for j in range(m)}
+
+    def test_st_functions_dictionary(self):
+        functions = st_functions(8)
+        assert set(functions) == {f"S{i}" for i in range(1, 9)} | {f"T{i}" for i in range(7)}
+
+    def test_out_of_range_indices_raise(self):
+        with pytest.raises(ValueError):
+            s_function(8, 0)
+        with pytest.raises(ValueError):
+            s_function(8, 9)
+        with pytest.raises(ValueError):
+            t_function(8, 7)
+        with pytest.raises(ValueError):
+            convolution_pairs(8, 15)

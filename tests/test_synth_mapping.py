@@ -1,0 +1,167 @@
+"""Tests for LUT mapping, slice packing and the timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.galois.pentanomials import type_ii_pentanomial
+from repro.multipliers import generate_multiplier
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import simulate
+from repro.synth.device import ARTIX7, GENERIC_4LUT, DeviceModel
+from repro.synth.lutmap import map_to_luts
+from repro.synth.slices import pack_slices
+from repro.synth.timing import analyze_timing
+
+
+def simulate_mapped(mapped, assignments, width):
+    """Reference evaluation of a mapped network by evaluating the source netlist."""
+    return simulate(mapped.source, assignments, width)
+
+
+class TestLutMapping:
+    def test_every_lut_respects_the_input_limit(self, gf28_modulus):
+        for k in (4, 6):
+            multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+            mapped = map_to_luts(multiplier.netlist, lut_inputs=k)
+            assert all(lut.input_count <= k for lut in mapped.luts)
+
+    def test_outputs_are_covered(self, gf28_modulus):
+        multiplier = generate_multiplier("imana2012", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        roots = {lut.root for lut in mapped.luts}
+        for _, node in multiplier.netlist.outputs:
+            assert node in roots
+
+    def test_lut_leaves_are_inputs_or_other_roots(self, gf28_modulus):
+        multiplier = generate_multiplier("reyhani_hasan", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        roots = {lut.root for lut in mapped.luts}
+        netlist = multiplier.netlist
+        for lut in mapped.luts:
+            for leaf in lut.leaves:
+                assert (not netlist.is_gate(leaf)) or leaf in roots
+
+    def test_levels_are_consistent(self, gf28_modulus):
+        multiplier = generate_multiplier("paar", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        level_of = {lut.root: lut.level for lut in mapped.luts}
+        for lut in mapped.luts:
+            deepest_leaf = max((level_of.get(leaf, 0) for leaf in lut.leaves), default=0)
+            assert lut.level == deepest_leaf + 1
+        assert mapped.depth == max(level_of.values())
+
+    def test_mapping_never_uses_fewer_luts_than_outputs(self, gf28_modulus):
+        multiplier = generate_multiplier("rashidi", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        assert mapped.lut_count >= len(multiplier.netlist.outputs)
+
+    def test_smaller_luts_need_more_of_them(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+        mapped6 = map_to_luts(multiplier.netlist, lut_inputs=6)
+        mapped4 = map_to_luts(multiplier.netlist, lut_inputs=4)
+        assert mapped4.lut_count > mapped6.lut_count
+
+    def test_depth_slack_never_improves_depth(self, gf28_modulus):
+        multiplier = generate_multiplier("imana2016", gf28_modulus, verify=False)
+        tight = map_to_luts(multiplier.netlist, lut_inputs=6, depth_slack=0)
+        loose = map_to_luts(multiplier.netlist, lut_inputs=6, depth_slack=2)
+        assert loose.depth >= tight.depth
+        assert loose.depth <= tight.depth + 2
+        assert loose.lut_count <= tight.lut_count + 5  # slack is for area recovery
+
+    def test_parameter_validation(self, gf28_modulus):
+        multiplier = generate_multiplier("paar", gf28_modulus, verify=False)
+        with pytest.raises(ValueError):
+            map_to_luts(multiplier.netlist, lut_inputs=1)
+        with pytest.raises(ValueError):
+            map_to_luts(multiplier.netlist, cut_limit=0)
+        with pytest.raises(ValueError):
+            map_to_luts(multiplier.netlist, depth_slack=-1)
+
+    def test_input_histogram_counts_all_luts(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        histogram = mapped.lut_input_histogram()
+        assert sum(histogram.values()) == mapped.lut_count
+        assert max(histogram) <= 6
+
+    def test_single_gate_netlist(self):
+        netlist = Netlist()
+        a = netlist.add_input("a0")
+        b = netlist.add_input("b0")
+        netlist.add_output("c0", netlist.and2(a, b))
+        mapped = map_to_luts(netlist, lut_inputs=6)
+        assert mapped.lut_count == 1 and mapped.depth == 1
+
+
+class TestSlicePacking:
+    def test_capacity_is_respected(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        packing = pack_slices(mapped, ARTIX7)
+        assert all(slice_.lut_count <= ARTIX7.luts_per_slice for slice_ in packing.slices)
+
+    def test_all_luts_are_packed_exactly_once(self, gf28_modulus):
+        multiplier = generate_multiplier("imana2012", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        packing = pack_slices(mapped, ARTIX7)
+        assert packing.lut_count == mapped.lut_count
+
+    def test_slice_count_bounds(self, gf28_modulus):
+        multiplier = generate_multiplier("reyhani_hasan", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        packing = pack_slices(mapped, ARTIX7)
+        lower = -(-mapped.lut_count // ARTIX7.luts_per_slice)
+        assert lower <= packing.slice_count <= mapped.lut_count
+        assert 1.0 <= packing.average_fill() <= ARTIX7.luts_per_slice
+
+    def test_min_fill_validation(self, gf28_modulus):
+        multiplier = generate_multiplier("paar", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        with pytest.raises(ValueError):
+            pack_slices(mapped, ARTIX7, min_fill=0)
+
+    def test_4lut_device_uses_smaller_slices(self, gf28_modulus):
+        multiplier = generate_multiplier("paar", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=4)
+        packing = pack_slices(mapped, GENERIC_4LUT)
+        assert all(slice_.lut_count <= 2 for slice_ in packing.slices)
+
+
+class TestTiming:
+    def test_critical_path_is_positive_and_bounded_below_by_io(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        timing = analyze_timing(mapped, ARTIX7)
+        assert timing.critical_path_ns > ARTIX7.io_overhead_ns()
+        assert timing.critical_output.startswith("c")
+        assert timing.logic_levels == mapped.lut_of_root[
+            multiplier.netlist.output_node(timing.critical_output)
+        ].level
+        assert "ns" in timing.summary()
+
+    def test_more_levels_means_more_delay(self, gf28_modulus):
+        multiplier = generate_multiplier("schoolbook", gf28_modulus, verify=False)
+        mapped6 = map_to_luts(multiplier.netlist, lut_inputs=6)
+        mapped3 = map_to_luts(multiplier.netlist, lut_inputs=3)
+        slow = analyze_timing(mapped3, ARTIX7)
+        fast = analyze_timing(mapped6, ARTIX7)
+        assert mapped3.depth > mapped6.depth
+        assert slow.critical_path_ns > fast.critical_path_ns
+
+    def test_slower_device_gives_longer_delay(self, gf28_modulus):
+        from repro.synth.device import VIRTEX5_LIKE
+
+        multiplier = generate_multiplier("imana2016", gf28_modulus, verify=False)
+        mapped = map_to_luts(multiplier.netlist, lut_inputs=6)
+        assert analyze_timing(mapped, VIRTEX5_LIKE).critical_path_ns > analyze_timing(mapped, ARTIX7).critical_path_ns
+
+    def test_net_delay_monotone_in_fanout_and_size(self):
+        device = ARTIX7
+        assert device.net_delay_ns(8, 100) > device.net_delay_ns(1, 100)
+        assert device.net_delay_ns(2, 10000) > device.net_delay_ns(2, 100)
+
+    def test_device_model_fields(self):
+        assert ARTIX7.lut_inputs == 6 and ARTIX7.luts_per_slice == 4
+        assert isinstance(ARTIX7, DeviceModel)
