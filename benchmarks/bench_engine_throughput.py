@@ -1,0 +1,152 @@
+"""Engine throughput — interpreted vs compiled batch multiplication.
+
+Measures products/second of the interpreted reference path
+(:func:`repro.netlist.simulate.simulate_words`: per-node dispatch, per-bit
+packing loops) against the compiled engine (:mod:`repro.engine`:
+straight-line generated code fed by word-level transposes) for the NIST
+fields m ∈ {163, 233, 283}.  The engine must be ≥10× faster at m=163 —
+that figure is asserted, not just reported.
+
+Run standalone for the CI smoke check or a quick local look::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+
+or under pytest-benchmark with the rest of the suite.  One-time costs
+(multiplier generation, circuit compilation) are excluded from the
+throughput figures; they are reported separately by ``--verbose`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.engine import engine_for
+from repro.galois.field import GF2mField
+from repro.galois.pentanomials import smallest_type_ii_pentanomial, type_ii_parameters
+from repro.multipliers.registry import generate_multiplier
+from repro.netlist.simulate import simulate_words
+
+#: The NIST ECDSA degrees the tentpole targets (paper Table V covers 163).
+FIELDS_M = (163, 233, 283)
+
+#: Pairs per measurement: large enough to amortize per-chunk overheads.
+DEFAULT_PAIRS = 2048
+#: The interpreted path is ~20× slower; measure it on a subset and scale.
+INTERPRETED_PAIRS = 256
+
+
+def measure_field(m, pairs=DEFAULT_PAIRS, method="thiswork", check=True, seed=2018):
+    """Interpreted and compiled products/second for GF(2^m), plus one-time costs."""
+    modulus = smallest_type_ii_pentanomial(m)
+    if modulus is None:
+        raise ValueError(f"no type II pentanomial for m={m}")
+    rng = random.Random(seed)
+    a_values = [rng.getrandbits(m) for _ in range(pairs)]
+    b_values = [rng.getrandbits(m) for _ in range(pairs)]
+
+    start = time.perf_counter()
+    multiplier = generate_multiplier(method, modulus, verify=False)
+    generate_s = time.perf_counter() - start
+
+    interpreted_pairs = min(pairs, INTERPRETED_PAIRS)
+    start = time.perf_counter()
+    interpreted = simulate_words(
+        multiplier.netlist, m, a_values[:interpreted_pairs], b_values[:interpreted_pairs]
+    )
+    interpreted_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine = engine_for(method, modulus, verify=False)
+    compile_s = time.perf_counter() - start
+    engine.multiply_batch(a_values[:1], b_values[:1])  # warm the code path
+    start = time.perf_counter()
+    compiled = engine.multiply_batch(a_values, b_values)
+    compiled_s = time.perf_counter() - start
+
+    if compiled[:interpreted_pairs] != interpreted:
+        raise AssertionError(f"engine and interpreter disagree at m={m}")
+    if check:
+        field = GF2mField(modulus, check_irreducible=False)
+        spot = random.Random(seed + 1).sample(range(pairs), min(64, pairs))
+        for index in spot:
+            expected = field.multiply(a_values[index], b_values[index])
+            if compiled[index] != expected:
+                raise AssertionError(f"engine disagrees with reference field at m={m}")
+
+    interpreted_rate = interpreted_pairs / interpreted_s
+    compiled_rate = pairs / compiled_s
+    return {
+        "m": m,
+        "n": type_ii_parameters(modulus)[1],
+        "pairs": pairs,
+        "interpreted_rate": interpreted_rate,
+        "compiled_rate": compiled_rate,
+        "speedup": compiled_rate / interpreted_rate,
+        "generate_s": generate_s,
+        "compile_s": compile_s,
+    }
+
+
+def report(rows):
+    lines = [
+        f"{'field':>10s} {'interpreted':>14s} {'compiled':>14s} {'speedup':>9s}"
+        f" {'generate':>9s} {'compile':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"GF(2^{row['m']:<4d}) {row['interpreted_rate']:>12,.0f}/s {row['compiled_rate']:>12,.0f}/s"
+            f" {row['speedup']:>8.1f}x {row['generate_s']:>8.2f}s {row['compile_s']:>8.2f}s"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- pytest
+def test_engine_speedup_gf2_163(benchmark):
+    """The acceptance figure: ≥10× over simulate_words at m=163."""
+    modulus = smallest_type_ii_pentanomial(163)
+    engine = engine_for("thiswork", modulus, verify=False)
+    rng = random.Random(2018)
+    a_values = [rng.getrandbits(163) for _ in range(DEFAULT_PAIRS)]
+    b_values = [rng.getrandbits(163) for _ in range(DEFAULT_PAIRS)]
+    engine.multiply_batch(a_values[:1], b_values[:1])
+    benchmark(engine.multiply_batch, a_values, b_values)
+
+    row = measure_field(163, pairs=DEFAULT_PAIRS)
+    print("\n" + report([row]))
+    assert row["speedup"] >= 10.0, f"only {row['speedup']:.1f}x over simulate_words"
+
+
+def test_engine_throughput_nist_fields():
+    """Correctness + a sane speedup on every tentpole field (fewer pairs)."""
+    rows = [measure_field(m, pairs=512) for m in FIELDS_M]
+    print("\n" + report(rows))
+    for row in rows:
+        assert row["speedup"] >= 5.0, f"m={row['m']}: only {row['speedup']:.1f}x"
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="engine vs interpreter throughput")
+    parser.add_argument("--quick", action="store_true", help="m=163 only, fewer pairs (CI smoke)")
+    parser.add_argument("--pairs", type=int, default=DEFAULT_PAIRS)
+    parser.add_argument("--fields", default=None, help="comma separated m values (default 163,233,283)")
+    args = parser.parse_args(argv)
+    if args.fields:
+        fields = [int(chunk) for chunk in args.fields.split(",")]
+    else:
+        fields = [163] if args.quick else list(FIELDS_M)
+    pairs = min(args.pairs, 1024) if args.quick else args.pairs
+    rows = [measure_field(m, pairs=pairs) for m in fields]
+    print(report(rows))
+    floor = 10.0 if any(row["m"] == 163 for row in rows) else 5.0
+    worst = min(row["speedup"] for row in rows)
+    if worst < floor:
+        raise SystemExit(f"speedup regression: {worst:.1f}x < {floor:.0f}x")
+    print(f"ok: worst speedup {worst:.1f}x (floor {floor:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.galois.pentanomials import type_ii_pentanomial
 from repro.spec.splitting import split_table
 
 PAPER_SAMPLE = {

@@ -17,7 +17,6 @@ from __future__ import annotations
 from conftest import bench_effort, table5_fields
 
 from repro.analysis.compare import claims_report, compare_to_paper, run_comparison
-from repro.galois.pentanomials import type_ii_pentanomial
 from repro.multipliers import generate_multiplier
 from repro.synth.flow import SynthesisOptions, implement
 

@@ -38,6 +38,16 @@ from .analysis import (
     render_table4,
     run_comparison,
 )
+from .engine import (
+    CompiledNetlist,
+    Engine,
+    MultiplierCache,
+    cached_multiplier,
+    compile_netlist,
+    default_multiplier_cache,
+    engine_for,
+    engine_for_netlist,
+)
 from .galois import (
     NIST_ECDSA_DEGREES,
     PAPER_TABLE5_FIELDS,
@@ -91,6 +101,14 @@ __all__ = [
     "render_table3",
     "render_table4",
     "run_comparison",
+    "CompiledNetlist",
+    "Engine",
+    "MultiplierCache",
+    "cached_multiplier",
+    "compile_netlist",
+    "default_multiplier_cache",
+    "engine_for",
+    "engine_for_netlist",
     "NIST_ECDSA_DEGREES",
     "PAPER_TABLE5_FIELDS",
     "FieldElement",

@@ -9,22 +9,29 @@ Subcommands
 ``compare``     regenerate (part of) the paper's Table V
 ``emit``        write VHDL/Verilog (and optionally a testbench) to a file
 ``fields``      list the paper's field catalog
+``batch``       multiply operand streams through the compiled batch engine
+``bench``       measure interpreted vs compiled multiplication throughput
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 from typing import List, Optional
 
 from .analysis.compare import claims_report, comparison_table, compare_to_paper, run_comparison
 from .analysis.tables import render_table1, render_table2, render_table3, render_table4
+from .engine import default_multiplier_cache, engine_for
+from .galois.field import GF2mField
 from .galois.gf2poly import poly_to_string
 from .galois.pentanomials import PAPER_TABLE5_FIELDS, type_ii_pentanomial
 from .hdl.testbench import vhdl_testbench
 from .hdl.verilog import netlist_to_verilog
 from .hdl.vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
 from .multipliers.registry import TABLE5_METHODS, describe_methods, generate_multiplier
+from .netlist.simulate import simulate_words
 from .synth.flow import SynthesisOptions, implement
 
 __all__ = ["main", "build_parser"]
@@ -75,7 +82,118 @@ def build_parser() -> argparse.ArgumentParser:
     emit.add_argument("--language", choices=["vhdl", "vhdl-behavioral", "verilog"], default="vhdl")
     emit.add_argument("--testbench", action="store_true", help="also emit a VHDL testbench")
     emit.add_argument("--output", default="-", help="output file (default stdout)")
+
+    batch = subparsers.add_parser("batch", help="multiply operand streams through the batch engine")
+    add_field_arguments(batch)
+    batch.add_argument("--method", default="thiswork", help="construction name (default thiswork)")
+    batch.add_argument("--count", type=int, default=1000, help="number of random operand pairs (default 1000)")
+    batch.add_argument("--seed", type=int, default=2018, help="seed for the random operand stream")
+    batch.add_argument("--input", help="file with one 'hexA hexB' pair per line instead of random operands")
+    batch.add_argument("--chunk-size", type=int, default=4096, help="pairs per compiled evaluation (default 4096)")
+    batch.add_argument("--check", action="store_true", help="verify every product against the reference field")
+    batch.add_argument("--stats", action="store_true", help="print throughput and cache statistics")
+    batch.add_argument("--output", default="-", help="output file for hex products (default stdout)")
+
+    bench = subparsers.add_parser("bench", help="interpreted vs compiled throughput of one field")
+    add_field_arguments(bench)
+    bench.add_argument("--method", default="thiswork")
+    bench.add_argument("--pairs", type=int, default=2048, help="operand pairs per measurement (default 2048)")
+    bench.add_argument("--quick", action="store_true", help="small fast run for CI smoke tests")
     return parser
+
+
+def _read_operand_pairs(path: str, m: int) -> tuple:
+    """Read one whitespace-separated hex pair per line (blank lines ignored)."""
+    a_values: List[int] = []
+    b_values: List[int] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as error:
+        raise SystemExit(f"cannot read operand file: {error}") from None
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise SystemExit(f"{path}:{line_number}: expected 'hexA hexB', got {stripped!r}")
+            try:
+                a, b = int(parts[0], 16), int(parts[1], 16)
+            except ValueError:
+                raise SystemExit(
+                    f"{path}:{line_number}: operands must be hexadecimal, got {stripped!r}"
+                ) from None
+            if a.bit_length() > m or b.bit_length() > m:
+                raise SystemExit(
+                    f"{path}:{line_number}: operand wider than m={m} bits: {stripped!r}"
+                )
+            a_values.append(a)
+            b_values.append(b)
+    return a_values, b_values
+
+
+def _run_batch(args) -> int:
+    modulus = type_ii_pentanomial(args.m, args.n)
+    if args.input:
+        a_values, b_values = _read_operand_pairs(args.input, args.m)
+    else:
+        rng = random.Random(args.seed)
+        a_values = [rng.getrandbits(args.m) for _ in range(args.count)]
+        b_values = [rng.getrandbits(args.m) for _ in range(args.count)]
+    engine = engine_for(args.method, modulus, verify=args.m <= 16)
+    start = time.perf_counter()
+    products = engine.multiply_batch(a_values, b_values, chunk_size=args.chunk_size)
+    elapsed = time.perf_counter() - start
+    if args.check:
+        field = GF2mField(modulus, check_irreducible=False)
+        for a, b, product in zip(a_values, b_values, products):
+            if product != field.multiply(a, b):
+                raise SystemExit(f"MISMATCH: {a:x} * {b:x} -> {product:x} != reference")
+    digits = (args.m + 3) // 4
+    lines = "\n".join(f"{product:0{digits}x}" for product in products)
+    if args.output == "-":
+        if lines:
+            print(lines)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(lines + ("\n" if lines else ""))
+        print(f"wrote {len(products)} products to {args.output}")
+    if args.check:
+        print(f"checked {len(products)} products against the reference field: all match")
+    if args.stats:
+        rate = len(products) / elapsed if elapsed > 0 else float("inf")
+        print(engine.describe())
+        print(f"{len(products)} products in {elapsed * 1000:.1f} ms ({rate:,.0f} products/s)")
+        print(f"multiplier cache: {default_multiplier_cache().info()}")
+    return 0
+
+
+def _run_bench(args) -> int:
+    modulus = type_ii_pentanomial(args.m, args.n)
+    pairs = min(args.pairs, 256) if args.quick else args.pairs
+    rng = random.Random(2018)
+    a_values = [rng.getrandbits(args.m) for _ in range(pairs)]
+    b_values = [rng.getrandbits(args.m) for _ in range(pairs)]
+    multiplier = generate_multiplier(args.method, modulus, verify=args.m <= 16)
+
+    start = time.perf_counter()
+    interpreted = simulate_words(multiplier.netlist, args.m, a_values, b_values)
+    interpreted_s = time.perf_counter() - start
+
+    engine = engine_for(args.method, modulus, verify=False)
+    engine.multiply_batch(a_values[:1], b_values[:1])  # warm the compiled path
+    start = time.perf_counter()
+    compiled = engine.multiply_batch(a_values, b_values)
+    compiled_s = time.perf_counter() - start
+
+    if compiled != interpreted:
+        raise SystemExit("engine and interpreter disagree — refusing to report throughput")
+    print(f"GF(2^{args.m}) {args.method}: {pairs} pairs")
+    print(f"  interpreted  {pairs / interpreted_s:>12,.0f} products/s")
+    print(f"  compiled     {pairs / compiled_s:>12,.0f} products/s")
+    print(f"  speedup      {interpreted_s / compiled_s:>12.1f}x")
+    return 0
 
 
 def _parse_fields(text: str) -> List[tuple]:
@@ -142,6 +260,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             for claim, fields_holding in report.items():
                 print(f"{claim}: {fields_holding}")
         return 0
+
+    if args.command == "batch":
+        return _run_batch(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     if args.command == "emit":
         modulus = type_ii_pentanomial(args.m, args.n)

@@ -1,0 +1,55 @@
+"""Compiled batch-multiplication engine with multiplier caching.
+
+This package is the production execution layer on top of the paper
+reproduction: where :mod:`repro.netlist.simulate` interprets a netlist node
+by node (the readable reference), :mod:`repro.engine` compiles the circuit
+once and pushes bit-packed operand batches through it at word speed.
+
+Layers, bottom up:
+
+* :mod:`repro.engine.bitpack` — word-level bit-matrix transposition between
+  operand row words and per-input-bit plane words;
+* :mod:`repro.engine.compiler` — levelization of a netlist into flat
+  op/fanin schedules and generated straight-line Python evaluators;
+* :mod:`repro.engine.cache` — thread-safe LRU caching of generated
+  multipliers keyed by ``(method, modulus)``;
+* :mod:`repro.engine.engine` — the :class:`Engine` batch API
+  (``multiply_batch``) and the cached :func:`engine_for` /
+  :func:`engine_for_netlist` factories.
+
+Quick start
+-----------
+>>> from repro.engine import engine_for
+>>> from repro.galois import type_ii_pentanomial
+>>> engine = engine_for("thiswork", type_ii_pentanomial(8, 2))
+>>> engine.multiply_batch([0x57, 0x01], [0x83, 0x2a])
+[49, 42]
+"""
+
+from .bitpack import block_size_for, pack_rows, transpose_square, unpack_planes
+from .cache import (
+    CacheInfo,
+    LRUCache,
+    MultiplierCache,
+    cached_multiplier,
+    default_multiplier_cache,
+)
+from .compiler import CompiledNetlist, compile_netlist
+from .engine import Engine, engine_for, engine_for_netlist
+
+__all__ = [
+    "block_size_for",
+    "pack_rows",
+    "transpose_square",
+    "unpack_planes",
+    "CacheInfo",
+    "LRUCache",
+    "MultiplierCache",
+    "cached_multiplier",
+    "default_multiplier_cache",
+    "CompiledNetlist",
+    "compile_netlist",
+    "Engine",
+    "engine_for",
+    "engine_for_netlist",
+]

@@ -1,0 +1,191 @@
+"""Thread-safe LRU caches for generated multipliers and compiled engines.
+
+Generating a multiplier re-derives the S_i/T_i splitting of the field and
+formally re-verifies the circuit — ~100 ms for GF(2^163) and growing
+quadratically with m.  Compiling its netlist to a straight-line evaluator
+costs another second.  Every path that repeatedly asks for the same
+``(method, modulus)`` pair (the CLI, the comparison harness, the benchmark
+suite, batch services) therefore goes through the caches in this module
+instead of calling the generators directly.
+
+* :class:`LRUCache` — a small generic thread-safe LRU used as the building
+  block for both caches below.
+* :class:`MultiplierCache` — :class:`~repro.multipliers.base.GeneratedMultiplier`
+  objects keyed by ``(method, modulus)``.  Verification state is tracked per
+  entry: a multiplier first generated with ``verify=False`` is verified (at
+  most once) when a caller later requests a verified instance, so identical
+  circuits are never formally verified twice in one process.
+* :func:`cached_multiplier` / :func:`default_multiplier_cache` — the
+  process-wide default instance used by the registry and the CLI.
+
+Cached multipliers are shared objects: callers must treat the netlist as
+immutable (the synthesis flow already does — restructuring builds new
+netlists).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, NamedTuple, Optional
+
+__all__ = [
+    "CacheInfo",
+    "LRUCache",
+    "MultiplierCache",
+    "cached_multiplier",
+    "default_multiplier_cache",
+]
+
+
+class CacheInfo(NamedTuple):
+    """A point-in-time snapshot of cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction and a lock.
+
+    ``get_or_create`` is the primary interface: it runs the factory under the
+    cache lock, so concurrent requests for the same key never duplicate the
+    (potentially expensive) construction work.  Pure-Python multiplier
+    generation holds the GIL anyway, so serializing builders costs nothing.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building it with ``factory`` on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            value = factory()
+            self._entries[key] = value
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value
+
+    def peek(self, key: Hashable) -> Optional[object]:
+        """The cached value for ``key`` (or None) without touching LRU order or stats."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def info(self) -> CacheInfo:
+        """Hit/miss/eviction counters and current occupancy."""
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, self._evictions, len(self._entries), self._maxsize)
+
+
+class _MultiplierEntry:
+    """A cached multiplier plus whether it has been formally verified yet."""
+
+    __slots__ = ("multiplier", "verified")
+
+    def __init__(self, multiplier, verified: bool) -> None:
+        self.multiplier = multiplier
+        self.verified = verified
+
+
+class MultiplierCache:
+    """LRU cache of generated multipliers keyed by ``(method, modulus)``.
+
+    The key deliberately excludes the ``verify`` flag: the circuit is
+    identical either way, so a verified and an unverified request share one
+    entry and verification is upgraded in place at most once.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        self._cache = LRUCache(maxsize=maxsize)
+        self._lock = threading.RLock()
+
+    def get(self, method: str, modulus: int, verify: bool = True):
+        """The cached (or freshly generated) multiplier for ``(method, modulus)``.
+
+        When ``verify`` is true the returned multiplier is guaranteed to have
+        been formally verified against its product specification — either at
+        generation time or by an on-demand upgrade of a cached unverified
+        entry.
+        """
+        from ..multipliers.registry import get_generator
+
+        def build() -> _MultiplierEntry:
+            multiplier = get_generator(method).generate(modulus, verify=verify)
+            return _MultiplierEntry(multiplier, verified=verify)
+
+        entry = self._cache.get_or_create((method, modulus), build)
+        if verify and not entry.verified:
+            with self._lock:
+                if not entry.verified:
+                    from ..netlist.verify import verify_netlist
+
+                    report = verify_netlist(entry.multiplier.netlist, entry.multiplier.spec)
+                    if not report:
+                        raise RuntimeError(
+                            f"cached {method} multiplier failed verification: {report.summary()}"
+                        )
+                    entry.verified = True
+        return entry.multiplier
+
+    def is_verified(self, method: str, modulus: int) -> bool:
+        """Whether the cached entry (if any) has been formally verified."""
+        entry = self._cache.peek((method, modulus))
+        return bool(entry and entry.verified)
+
+    def __contains__(self, key) -> bool:
+        return key in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all cached multipliers and reset statistics."""
+        self._cache.clear()
+
+    def info(self) -> CacheInfo:
+        """Hit/miss/eviction counters of the underlying LRU."""
+        return self._cache.info()
+
+
+#: Process-wide default cache used by the registry, CLI and benchmarks.
+_DEFAULT_CACHE = MultiplierCache(maxsize=32)
+
+
+def default_multiplier_cache() -> MultiplierCache:
+    """The process-wide :class:`MultiplierCache` shared by library entry points."""
+    return _DEFAULT_CACHE
+
+
+def cached_multiplier(method: str, modulus: int, verify: bool = True):
+    """Fetch a multiplier through the process-wide cache (generating on miss)."""
+    return _DEFAULT_CACHE.get(method, modulus, verify=verify)

@@ -75,8 +75,22 @@ def get_generator(name: str) -> MultiplierGenerator:
         ) from None
 
 
-def generate_multiplier(method: str, modulus: int, verify: bool = True) -> GeneratedMultiplier:
-    """Convenience wrapper: look up a generator and run it on ``modulus``."""
+def generate_multiplier(
+    method: str, modulus: int, verify: bool = True, use_cache: bool = True
+) -> GeneratedMultiplier:
+    """Look up a generator and run it on ``modulus``, caching the result.
+
+    By default the circuit comes from the process-wide
+    :class:`~repro.engine.cache.MultiplierCache`, so repeated requests for
+    the same ``(method, modulus)`` pair — CLI invocations, comparison
+    sweeps, benchmark loops — re-derive neither the SiTi splitting nor the
+    formal verification.  Cached multipliers are shared: treat their
+    netlists as immutable, or pass ``use_cache=False`` for a private copy.
+    """
+    if use_cache:
+        from ..engine.cache import cached_multiplier
+
+        return cached_multiplier(method, modulus, verify=verify)
     return get_generator(method).generate(modulus, verify=verify)
 
 

@@ -21,7 +21,7 @@ Design notes
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["OP_INPUT", "OP_CONST0", "OP_AND", "OP_XOR", "OP_NAMES", "Netlist"]
 

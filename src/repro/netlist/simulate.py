@@ -6,6 +6,14 @@ once.  The helpers below understand the multiplier I/O convention used
 throughout the project: operand ``A`` drives inputs ``a0 .. a(m-1)``,
 operand ``B`` drives ``b0 .. b(m-1)`` and the product appears on outputs
 ``c0 .. c(m-1)``.
+
+:func:`simulate` and :func:`simulate_words` are the *interpreted reference
+path*: a readable per-node walk with per-bit packing loops, kept deliberately
+simple because every faster path is validated against it.  Production batch
+traffic should go through :mod:`repro.engine`, which compiles the netlist
+once and replaces the O(pairs×bits) packing loops with word-level
+transposes; the :func:`multiply_words` and :func:`multiply_with_netlist`
+conveniences below already route through a cached engine.
 """
 
 from __future__ import annotations
@@ -31,7 +39,14 @@ def simulate(netlist: Netlist, assignments: Dict[str, int], width: int = 1) -> D
     for name in netlist.inputs:
         if name not in assignments:
             raise KeyError(f"no value supplied for primary input {name!r}")
-        values[netlist.input_node(name)] = assignments[name] & mask
+        word = assignments[name]
+        if word < 0 or word.bit_length() > width:
+            raise ValueError(
+                f"assignment for input {name!r} needs {word.bit_length()} bits "
+                f"but width is {width}; widen the simulation instead of silently "
+                "dropping test vectors"
+            )
+        values[netlist.input_node(name)] = word
     for node in netlist.nodes():
         op = netlist.op(node)
         if op in (OP_INPUT, OP_CONST0):
@@ -82,10 +97,36 @@ def simulate_words(netlist: Netlist, m: int, a_values: Sequence[int], b_values: 
 
 
 def multiply_words(netlist: Netlist, m: int, a_values: Sequence[int], b_values: Sequence[int]) -> List[int]:
-    """Alias of :func:`simulate_words` with a multiplication-flavoured name."""
-    return simulate_words(netlist, m, a_values, b_values)
+    """Batch multiplication through the compiled engine (cached per netlist).
+
+    Functionally identical to :func:`simulate_words` but routed through
+    :func:`repro.engine.engine.engine_for_netlist`, which compiles the
+    netlist on first use and amortizes that cost over subsequent calls.
+    """
+    if len(a_values) != len(b_values):
+        raise ValueError("a_values and b_values must have the same length")
+    from ..engine.engine import engine_for_netlist
+
+    try:
+        engine = engine_for_netlist(netlist, m, mode="exec")
+    except ValueError:
+        # Netlists outside the strict a<i>/b<j> → c<k> convention (extra
+        # inputs, missing outputs) keep the tolerant interpreted semantics.
+        return simulate_words(netlist, m, a_values, b_values)
+    return engine.multiply_batch(a_values, b_values)
 
 
 def multiply_with_netlist(netlist: Netlist, m: int, a: int, b: int) -> int:
-    """Multiply a single pair of field elements with the netlist."""
-    return simulate_words(netlist, m, [a], [b])[0]
+    """Multiply a single pair of field elements with the netlist.
+
+    Uses the flat ``arrays`` engine (no code generation), so one-off calls
+    never pay the straight-line compilation cost while repeated calls still
+    skip the per-node dispatch of :func:`simulate`.
+    """
+    from ..engine.engine import engine_for_netlist
+
+    try:
+        engine = engine_for_netlist(netlist, m, mode="arrays")
+    except ValueError:
+        return simulate_words(netlist, m, [a], [b])[0]
+    return engine.multiply(a, b)

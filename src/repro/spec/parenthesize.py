@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from ..galois.gf2poly import degree
 from .reduction import SplitCoefficient, split_coefficients

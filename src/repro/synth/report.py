@@ -8,7 +8,7 @@ average slice fill), plus enough provenance to regenerate the row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["ImplementationResult", "format_table"]

@@ -19,7 +19,7 @@ fanout can never make the model faster).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .device import DeviceModel
 from .lutmap import MappedNetwork

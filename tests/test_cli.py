@@ -72,3 +72,58 @@ class TestCommands:
     def test_emit_behavioral_vhdl(self, capsys):
         assert main(["emit", "-m", "8", "-n", "2", "--language", "vhdl-behavioral", "--method", "imana2016"]) == 0
         assert "architecture behavioral" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_random_batch_with_check_and_stats(self, capsys):
+        assert main(["batch", "-m", "8", "-n", "2", "--count", "32", "--check", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "all match" in out and "products/s" in out and "multiplier cache" in out
+        # 32 products of two hex digits each, then the reporting lines.
+        products = [line for line in out.splitlines() if len(line) == 2]
+        assert len(products) == 32
+
+    def test_batch_from_input_file(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("# comment line\n57 83\n01 01\n\n00 ff\n")
+        output = tmp_path / "products.txt"
+        assert main([
+            "batch", "-m", "8", "-n", "2", "--input", str(pairs), "--output", str(output),
+        ]) == 0
+        # 0x57·0x83 = 0x31 under the paper's pentanomial y^8+y^4+y^3+y^2+1
+        # (not 0xc1 as under the AES polynomial).
+        assert output.read_text().splitlines() == ["31", "01", "00"]
+        assert "wrote 3 products" in capsys.readouterr().out
+
+    def test_batch_rejects_malformed_input(self, tmp_path):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("deadbeef\n")
+        with pytest.raises(SystemExit):
+            main(["batch", "-m", "8", "-n", "2", "--input", str(pairs)])
+
+    def test_batch_rejects_non_hex_input(self, tmp_path):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("zz 12\n")
+        with pytest.raises(SystemExit, match="hexadecimal"):
+            main(["batch", "-m", "8", "-n", "2", "--input", str(pairs)])
+
+    def test_batch_rejects_out_of_range_operand(self, tmp_path):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("1ff 03\n")
+        with pytest.raises(SystemExit, match="wider than m=8"):
+            main(["batch", "-m", "8", "-n", "2", "--input", str(pairs)])
+
+    def test_batch_missing_input_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["batch", "-m", "8", "-n", "2", "--input", "/no/such/file"])
+
+    def test_empty_batch(self, capsys):
+        assert main(["batch", "-m", "8", "-n", "2", "--count", "0"]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestBenchCommand:
+    def test_quick_bench_reports_both_paths(self, capsys):
+        assert main(["bench", "-m", "16", "-n", "3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "interpreted" in out and "compiled" in out and "speedup" in out

@@ -1,0 +1,116 @@
+"""Word-level bit-matrix transposition: correctness against naive references."""
+
+import random
+
+import pytest
+
+from repro.engine.bitpack import block_size_for, pack_rows, transpose_square, unpack_planes
+
+
+def naive_transpose(rows, n):
+    out = [0] * n
+    for r, value in enumerate(rows):
+        for c in range(n):
+            if (value >> c) & 1:
+                out[c] |= 1 << r
+    return out
+
+
+def naive_pack(rows, width):
+    planes = [0] * width
+    for position, value in enumerate(rows):
+        for i in range(width):
+            if (value >> i) & 1:
+                planes[i] |= 1 << position
+    return planes
+
+
+class TestTransposeSquare:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 128, 256])
+    def test_matches_naive_transpose(self, n):
+        rng = random.Random(n)
+        rows = [rng.getrandbits(n) for _ in range(n)]
+        packed = 0
+        for r, value in enumerate(rows):
+            packed |= value << (r * n)
+        transposed = transpose_square(packed, n)
+        mask = (1 << n) - 1
+        columns = [(transposed >> (r * n)) & mask for r in range(n)]
+        assert columns == naive_transpose(rows, n)
+
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_is_an_involution(self, n):
+        rng = random.Random(n + 1)
+        matrix = rng.getrandbits(n * n)
+        assert transpose_square(transpose_square(matrix, n), n) == matrix
+
+    def test_identity_and_zero(self):
+        assert transpose_square(0, 64) == 0
+        # The diagonal is fixed by transposition.
+        diagonal = sum(1 << (i * 64 + i) for i in range(64))
+        assert transpose_square(diagonal, 64) == diagonal
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            transpose_square(0, 48)
+
+
+class TestPackRows:
+    @pytest.mark.parametrize("width", [1, 2, 7, 8, 63, 64, 65, 163])
+    @pytest.mark.parametrize("count", [1, 2, 63, 64, 65, 300])
+    def test_matches_naive_packing(self, width, count):
+        rng = random.Random(width * 1000 + count)
+        rows = [rng.getrandbits(width) for _ in range(count)]
+        assert pack_rows(rows, width) == naive_pack(rows, width)
+
+    @pytest.mark.parametrize("width", [1, 8, 163, 233])
+    @pytest.mark.parametrize("count", [0, 1, 64, 257, 5000])
+    def test_roundtrip(self, width, count):
+        rng = random.Random(width + count)
+        rows = [rng.getrandbits(width) for _ in range(count)]
+        planes = pack_rows(rows, width)
+        assert len(planes) == width
+        assert unpack_planes(planes, width, count) == rows
+
+    def test_empty_rows_give_zero_planes(self):
+        assert pack_rows([], 5) == [0] * 5
+        assert unpack_planes([0] * 5, 5, 0) == []
+
+    def test_bits_above_width_are_ignored(self):
+        # Mirrors the masking semantics of the interpreted simulator.
+        assert pack_rows([0b111], 1) == pack_rows([0b001], 1)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rows([-1], 8)
+
+    def test_rows_beyond_block_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rows([1 << 80], 8, block=64)
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ValueError):
+            pack_rows([1], 8, block=48)
+        with pytest.raises(ValueError):
+            pack_rows([1], 100, block=64)
+        with pytest.raises(ValueError):
+            unpack_planes([0] * 8, 8, 1, block=48)
+
+    def test_plane_count_validated(self):
+        with pytest.raises(ValueError):
+            unpack_planes([0, 0], 3, 1)
+
+
+class TestBlockSize:
+    def test_minimum_is_64(self):
+        assert block_size_for(1) == 64
+        assert block_size_for(64) == 64
+
+    def test_rounds_to_power_of_two(self):
+        assert block_size_for(65) == 128
+        assert block_size_for(163) == 256
+        assert block_size_for(571) == 1024
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            block_size_for(0)

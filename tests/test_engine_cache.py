@@ -1,0 +1,108 @@
+"""Multiplier cache: hits, LRU eviction, verification upgrades, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.engine.cache import LRUCache, MultiplierCache, default_multiplier_cache
+from repro.galois.pentanomials import type_ii_pentanomial
+
+
+class TestLRUCache:
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get_or_create("a", lambda: 1) == 1
+        assert cache.get_or_create("a", lambda: 2) == 1  # hit: factory not rerun
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1 and info.currsize == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_create("a", lambda: "A")
+        cache.get_or_create("b", lambda: "B")
+        cache.get_or_create("a", lambda: "A")  # refresh a: b is now LRU
+        cache.get_or_create("c", lambda: "C")  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.info().evictions == 1
+        # b must be rebuilt on the next request.
+        rebuilt = []
+        cache.get_or_create("b", lambda: rebuilt.append(1) or "B")
+        assert rebuilt == [1]
+
+    def test_clear_resets_everything(self):
+        cache = LRUCache(maxsize=2)
+        cache.get_or_create("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.info() == (0, 0, 0, 0, 2)
+
+    def test_rejects_non_positive_maxsize(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_concurrent_requests_build_once(self):
+        cache = LRUCache(maxsize=4)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return "value"
+
+        workers = [
+            threading.Thread(target=lambda: cache.get_or_create("key", build))
+            for _ in range(8)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert builds == [1]
+        assert cache.info().hits == 7
+
+
+class TestMultiplierCache:
+    MODULUS = type_ii_pentanomial(8, 2)
+
+    def test_same_object_on_repeat_requests(self):
+        cache = MultiplierCache(maxsize=4)
+        first = cache.get("thiswork", self.MODULUS)
+        second = cache.get("thiswork", self.MODULUS)
+        assert first is second
+        info = cache.info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_methods_and_moduli_are_distinct_keys(self):
+        cache = MultiplierCache(maxsize=4)
+        thiswork = cache.get("thiswork", self.MODULUS)
+        schoolbook = cache.get("schoolbook", self.MODULUS)
+        other = cache.get("thiswork", type_ii_pentanomial(10, 2))
+        assert len({id(thiswork), id(schoolbook), id(other)}) == 3
+        assert cache.info().misses == 3
+
+    def test_eviction_bound(self):
+        cache = MultiplierCache(maxsize=2)
+        cache.get("thiswork", self.MODULUS, verify=False)
+        cache.get("schoolbook", self.MODULUS, verify=False)
+        cache.get("paar", self.MODULUS, verify=False)
+        assert len(cache) == 2
+        assert ("thiswork", self.MODULUS) not in cache
+        assert cache.info().evictions == 1
+
+    def test_verification_upgrades_in_place(self):
+        cache = MultiplierCache(maxsize=4)
+        unverified = cache.get("thiswork", self.MODULUS, verify=False)
+        assert not cache.is_verified("thiswork", self.MODULUS)
+        verified = cache.get("thiswork", self.MODULUS, verify=True)
+        assert verified is unverified
+        assert cache.is_verified("thiswork", self.MODULUS)
+        # Asking again must not re-verify (the flag is already set) and
+        # must keep returning the same shared instance.
+        assert cache.get("thiswork", self.MODULUS, verify=True) is unverified
+
+    def test_unknown_method_propagates(self):
+        cache = MultiplierCache(maxsize=2)
+        with pytest.raises(KeyError):
+            cache.get("no_such_method", self.MODULUS)
+
+    def test_default_cache_is_shared(self):
+        assert default_multiplier_cache() is default_multiplier_cache()

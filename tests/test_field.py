@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.galois.field import FieldElement, GF2mField
-from repro.galois.gf2poly import poly_to_string
 from repro.galois.pentanomials import type_ii_pentanomial
 
 

@@ -15,7 +15,6 @@ from repro.galois.matrices import (
     power_residues,
     reduction_matrix,
 )
-from repro.galois.pentanomials import type_ii_pentanomial
 
 
 class TestPowerResidues:

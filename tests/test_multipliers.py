@@ -55,7 +55,8 @@ class TestFunctionalCorrectness:
     def test_exhaustive_simulation_on_gf2_6(self, method):
         modulus = type_ii_pentanomial(10, 2) if method == "rodriguez_koc" else 0b1000011   # y^6+y+1
         multiplier = generate_multiplier(method, modulus, verify=True)
-        assert verify_by_simulation(multiplier.netlist, modulus, exhaustive_limit=6 if modulus < (1 << 8) else 0, trials=128)
+        exhaustive_limit = 6 if modulus < (1 << 8) else 0
+        assert verify_by_simulation(multiplier.netlist, modulus, exhaustive_limit=exhaustive_limit, trials=128)
 
     @pytest.mark.parametrize("method", ALL_METHODS)
     def test_formal_verification_on_small_type_ii_fields(self, method, small_moduli):

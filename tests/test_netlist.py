@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.netlist.dot import to_dot
-from repro.netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from repro.netlist.netlist import OP_CONST0, Netlist
 from repro.netlist.simulate import multiply_with_netlist, simulate, simulate_words
 from repro.netlist.stats import gather_stats
 
@@ -174,6 +174,18 @@ class TestSimulation:
         netlist = build_half_multiplier()
         with pytest.raises(ValueError):
             simulate_words(netlist, 2, [1, 2], [3])
+
+    def test_assignment_wider_than_width_raises(self):
+        # High bits used to be silently masked away; now the caller is told.
+        netlist = build_half_multiplier()
+        assignments = {"a0": 0b101, "a1": 0, "b0": 0, "b1": 0}
+        with pytest.raises(ValueError, match="width"):
+            simulate(netlist, assignments, width=2)
+
+    def test_negative_assignment_raises(self):
+        netlist = build_half_multiplier()
+        with pytest.raises(ValueError):
+            simulate(netlist, {"a0": -1, "a1": 0, "b0": 0, "b1": 0}, width=4)
 
     def test_multiply_with_netlist_on_generated_multiplier(self, gf28_modulus, gf28_field):
         from repro.multipliers import generate_multiplier

@@ -8,7 +8,7 @@ import pytest
 
 from repro.galois.field import GF2mField
 from repro.galois.gf2poly import degree
-from repro.galois.pentanomials import PAPER_TABLE5_FIELDS, type_ii_pentanomial
+from repro.galois.pentanomials import PAPER_TABLE5_FIELDS
 from repro.spec.product_spec import ProductSpec
 from repro.spec.reduction import (
     coefficient_pairs,

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.spec.siti import all_s_functions, all_t_functions, s_function, t_function
+from repro.spec.siti import all_s_functions, all_t_functions
 from repro.spec.splitting import SplitTerm, split_all_functions, split_function, split_table
 from repro.spec.terms import x_atom, z_atom
 

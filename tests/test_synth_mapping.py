@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.galois.pentanomials import type_ii_pentanomial
 from repro.multipliers import generate_multiplier
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import simulate
