@@ -15,7 +15,9 @@ J. L. Imaña builds or depends on:
   packing and timing — standing in for ISE/XST on Artix-7
   (:mod:`repro.synth`);
 * VHDL/Verilog emission (:mod:`repro.hdl`) and the Table V comparison
-  harness (:mod:`repro.analysis`).
+  harness (:mod:`repro.analysis`);
+* the parallel sweep pipeline — staged job graph, process-pool scheduler
+  and persistent content-addressed artifact store (:mod:`repro.pipeline`).
 
 Quick start
 -----------
@@ -78,6 +80,14 @@ from .netlist import (
     verify_by_simulation,
     verify_netlist,
 )
+from .pipeline import (
+    ArtifactStore,
+    SweepJob,
+    SweepResult,
+    build_sweep_jobs,
+    format_sweep,
+    run_sweep,
+)
 from .spec import ProductSpec, parenthesized_coefficients, split_coefficients, st_coefficients
 from .synth import (
     ARTIX7,
@@ -136,6 +146,12 @@ __all__ = [
     "simulate_words",
     "verify_by_simulation",
     "verify_netlist",
+    "ArtifactStore",
+    "SweepJob",
+    "SweepResult",
+    "build_sweep_jobs",
+    "format_sweep",
+    "run_sweep",
     "ProductSpec",
     "parenthesized_coefficients",
     "split_coefficients",

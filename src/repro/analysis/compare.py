@@ -5,6 +5,12 @@ it generates every Table V construction, runs the implementation flow and
 collects the LUT / slice / delay / Area×Time metrics.  ``compare_to_paper``
 then lines our measurements up with the published numbers and evaluates the
 qualitative claims the reproduction cares about (see EXPERIMENTS.md).
+
+Since the pipeline refactor the harness is a thin consumer of
+:mod:`repro.pipeline`: it expands the (field, method) grid into sweep jobs
+and runs them through the staged scheduler, so it inherits process-pool
+parallelism (``jobs=N``) and warm artifact-store re-runs (``store=...``)
+for free while producing exactly the rows the serial flow always did.
 """
 
 from __future__ import annotations
@@ -13,9 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..galois.pentanomials import PAPER_TABLE5_FIELDS, FieldSpec, lookup_field
-from ..multipliers.registry import TABLE5_METHODS, generate_multiplier
+from ..multipliers.registry import TABLE5_METHODS
+from ..pipeline.scheduler import run_jobs
+from ..pipeline.store import ArtifactStore
+from ..pipeline.sweep import build_sweep_jobs
 from ..synth.device import ARTIX7, DeviceModel
-from ..synth.flow import SynthesisOptions, implement
+from ..synth.flow import SynthesisOptions
 from ..synth.report import ImplementationResult, format_table
 from .paper_data import PAPER_TABLE5
 
@@ -69,6 +78,8 @@ def run_comparison(
     device: DeviceModel = ARTIX7,
     options: SynthesisOptions = SynthesisOptions(),
     verify_up_to: int = 16,
+    jobs: int = 1,
+    store: Optional[ArtifactStore] = None,
 ) -> List[FieldComparison]:
     """Regenerate the paper's Table V for the given fields and methods.
 
@@ -76,16 +87,29 @@ def run_comparison(
     six Table V rows.  Multipliers for fields with ``m <= verify_up_to`` are
     additionally formally verified during generation (larger ones are
     verified by the dedicated test suite instead, to keep sweeps fast).
+
+    ``jobs`` > 1 fans the (field, method) grid out over the pipeline's
+    process pool; passing an :class:`~repro.pipeline.store.ArtifactStore`
+    makes re-runs incremental.  Both leave the produced rows bit-identical
+    to the serial, uncached path.
     """
     selected_fields = [lookup_field(m, n) for m, n in fields] if fields is not None else list(PAPER_TABLE5_FIELDS)
     selected_methods = list(methods) if methods is not None else list(TABLE5_METHODS)
+    job_list = build_sweep_jobs(
+        fields=[(spec.m, spec.n) for spec in selected_fields],
+        methods=selected_methods,
+        devices=[device],
+        options=options,
+        verify_up_to=verify_up_to,
+    )
+    outcomes = run_jobs(job_list, parallelism=jobs, store=store)
+    results = iter(outcomes)
     comparisons: List[FieldComparison] = []
     for spec in selected_fields:
         comparison = FieldComparison(spec=spec)
         paper_rows = PAPER_TABLE5.get((spec.m, spec.n), {})
         for method in selected_methods:
-            multiplier = generate_multiplier(method, spec.modulus, verify=spec.m <= verify_up_to)
-            result = implement(multiplier, device=device, options=options)
+            result = next(results).result
             paper = paper_rows.get(method)
             comparison.rows.append(
                 ComparisonRow(

@@ -11,6 +11,8 @@ Subcommands
 ``fields``      list the paper's field catalog
 ``batch``       multiply operand streams through the compiled batch engine
 ``bench``       measure interpreted vs compiled multiplication throughput
+``sweep``       run a field x method x device x effort grid through the
+                parallel pipeline with the persistent artifact store
 """
 
 from __future__ import annotations
@@ -32,6 +34,9 @@ from .hdl.verilog import netlist_to_verilog
 from .hdl.vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
 from .multipliers.registry import TABLE5_METHODS, describe_methods, generate_multiplier
 from .netlist.simulate import simulate_words
+from .pipeline.store import ArtifactStore
+from .pipeline.sweep import format_sweep, run_sweep
+from .synth.device import DEVICES, device_by_name
 from .synth.flow import SynthesisOptions, implement
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     implement_cmd.add_argument("--method", default="thiswork")
     implement_cmd.add_argument("--effort", type=int, default=2, help="mapping effort (default 2)")
 
+    def add_cache_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact store directory (default ~/.cache/gf2m-repro or $GF2M_REPRO_CACHE_DIR)",
+        )
+        subparser.add_argument(
+            "--no-cache", action="store_true", help="bypass the on-disk artifact store entirely"
+        )
+        subparser.add_argument(
+            "--jobs", type=int, default=1, help="worker processes for the sweep scheduler (default 1)"
+        )
+
     compare = subparsers.add_parser("compare", help="regenerate (part of) the paper's Table V")
     compare.add_argument(
         "--fields",
@@ -75,6 +93,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--effort", type=int, default=2)
     compare.add_argument("--paper", action="store_true", help="show paper values side by side")
     compare.add_argument("--claims", action="store_true", help="evaluate the paper's qualitative claims")
+    add_cache_arguments(compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a field x method x device x effort grid through the parallel pipeline"
+    )
+    sweep.add_argument(
+        "--fields",
+        default="paper",
+        help="comma separated m:n pairs, or 'paper' for all nine paper fields (default)",
+    )
+    sweep.add_argument("--methods", default=",".join(TABLE5_METHODS))
+    sweep.add_argument(
+        "--devices",
+        default="artix7",
+        help=f"comma separated device names (default artix7; known: {', '.join(sorted(DEVICES))})",
+    )
+    sweep.add_argument("--efforts", default="2", help="comma separated mapping efforts (default 2)")
+    sweep.add_argument("--format", choices=["table", "json", "csv"], default="table")
+    sweep.add_argument("--stats", action="store_true", help="also print per-run scheduler/cache statistics")
+    add_cache_arguments(sweep)
 
     emit = subparsers.add_parser("emit", help="emit HDL for one multiplier")
     add_field_arguments(emit)
@@ -197,13 +235,87 @@ def _run_bench(args) -> int:
 
 
 def _parse_fields(text: str) -> List[tuple]:
+    """Parse ``--fields`` ('paper' or comma separated ``m:n`` pairs).
+
+    Malformed specs exit with an actionable message instead of a bare
+    ``ValueError`` traceback.
+    """
     if text.strip().lower() == "paper":
         return [(spec.m, spec.n) for spec in PAPER_TABLE5_FIELDS]
     fields = []
     for chunk in text.split(","):
-        m_text, n_text = chunk.split(":")
-        fields.append((int(m_text), int(n_text)))
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        m_text, sep, n_text = chunk.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            m_value, n_value = int(m_text), int(n_text)
+        except ValueError:
+            raise SystemExit(
+                f"invalid field spec {chunk!r}: expected 'm:n' with decimal integers "
+                f"(e.g. '163:66'), or 'paper' for the paper's nine fields"
+            ) from None
+        try:
+            type_ii_pentanomial(m_value, n_value)
+        except ValueError as error:
+            raise SystemExit(f"invalid field spec {chunk!r}: {error}") from None
+        fields.append((m_value, n_value))
+    if not fields:
+        raise SystemExit("no fields given: pass comma separated 'm:n' pairs or 'paper'")
     return fields
+
+
+def _parse_int_list(text: str, what: str) -> List[int]:
+    """Parse a comma separated integer list CLI argument."""
+    try:
+        values = [int(chunk) for chunk in text.split(",") if chunk.strip()]
+    except ValueError:
+        raise SystemExit(f"invalid {what} list {text!r}: expected comma separated integers") from None
+    if not values:
+        raise SystemExit(f"no {what} given in {text!r}")
+    return values
+
+
+def _artifact_store(args) -> Optional[ArtifactStore]:
+    """The artifact store selected by --cache-dir/--no-cache (None = disabled)."""
+    if args.no_cache:
+        return None
+    return ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+
+
+def _run_sweep(args) -> int:
+    fields = _parse_fields(args.fields)
+    methods = [name.strip() for name in args.methods.split(",") if name.strip()]
+    if not methods:
+        raise SystemExit("no methods given: pass comma separated construction names (see 'repro methods')")
+    try:
+        devices = [device_by_name(name) for name in args.devices.split(",") if name.strip()]
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
+    if not devices:
+        raise SystemExit("no devices given: pass comma separated device names (e.g. 'artix7')")
+    efforts = _parse_int_list(args.efforts, "effort")
+    store = _artifact_store(args)
+    try:
+        result = run_sweep(
+            fields=fields,
+            methods=methods,
+            devices=devices,
+            efforts=efforts,
+            jobs=args.jobs,
+            store=store,
+        )
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
+    print(format_sweep(result, fmt=args.format))
+    if args.stats:
+        for outcome in result.outcomes:
+            status = "hit " if outcome.cache_hit else "miss"
+            print(f"  [{status}] {outcome.job.label:<45s} {outcome.elapsed_s * 1000:>8.1f} ms", file=sys.stderr)
+    print(f"sweep: {result.summary()}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -246,10 +358,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key:20s} {value}")
         return 0
 
+    if args.command == "sweep":
+        return _run_sweep(args)
+
     if args.command == "compare":
         fields = _parse_fields(args.fields)
         methods = [name.strip() for name in args.methods.split(",") if name.strip()]
-        comparisons = run_comparison(fields=fields, methods=methods, options=SynthesisOptions(effort=args.effort))
+        try:
+            comparisons = run_comparison(
+                fields=fields,
+                methods=methods,
+                options=SynthesisOptions(effort=args.effort),
+                jobs=args.jobs,
+                store=_artifact_store(args),
+            )
+        except KeyError as error:
+            raise SystemExit(str(error.args[0])) from None
         if args.paper:
             print(compare_to_paper(comparisons))
         else:

@@ -8,8 +8,9 @@ costs another second.  Every path that repeatedly asks for the same
 suite, batch services) therefore goes through the caches in this module
 instead of calling the generators directly.
 
-* :class:`LRUCache` — a small generic thread-safe LRU used as the building
-  block for both caches below.
+* :class:`~repro.pipeline.store.LRUCache` — the generic thread-safe LRU
+  building block, shared with the sweep pipeline's artifact layer
+  (:mod:`repro.pipeline.store`) and re-exported here for compatibility.
 * :class:`MultiplierCache` — :class:`~repro.multipliers.base.GeneratedMultiplier`
   objects keyed by ``(method, modulus)``.  Verification state is tracked per
   entry: a multiplier first generated with ``verify=False`` is verified (at
@@ -26,8 +27,8 @@ netlists).
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
-from typing import Callable, Hashable, NamedTuple, Optional
+
+from ..pipeline.store import CacheInfo, LRUCache
 
 __all__ = [
     "CacheInfo",
@@ -36,75 +37,6 @@ __all__ = [
     "cached_multiplier",
     "default_multiplier_cache",
 ]
-
-
-class CacheInfo(NamedTuple):
-    """A point-in-time snapshot of cache effectiveness counters."""
-
-    hits: int
-    misses: int
-    evictions: int
-    currsize: int
-    maxsize: int
-
-
-class LRUCache:
-    """A bounded mapping with least-recently-used eviction and a lock.
-
-    ``get_or_create`` is the primary interface: it runs the factory under the
-    cache lock, so concurrent requests for the same key never duplicate the
-    (potentially expensive) construction work.  Pure-Python multiplier
-    generation holds the GIL anyway, so serializing builders costs nothing.
-    """
-
-    def __init__(self, maxsize: int = 32) -> None:
-        if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
-        self._maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._lock = threading.RLock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-
-    def get_or_create(self, key: Hashable, factory: Callable[[], object]) -> object:
-        """Return the cached value for ``key``, building it with ``factory`` on a miss."""
-        with self._lock:
-            if key in self._entries:
-                self._hits += 1
-                self._entries.move_to_end(key)
-                return self._entries[key]
-            self._misses += 1
-            value = factory()
-            self._entries[key] = value
-            if len(self._entries) > self._maxsize:
-                self._entries.popitem(last=False)
-                self._evictions += 1
-            return value
-
-    def peek(self, key: Hashable) -> Optional[object]:
-        """The cached value for ``key`` (or None) without touching LRU order or stats."""
-        with self._lock:
-            return self._entries.get(key)
-
-    def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def clear(self) -> None:
-        """Drop every entry and reset the statistics counters."""
-        with self._lock:
-            self._entries.clear()
-            self._hits = self._misses = self._evictions = 0
-
-    def info(self) -> CacheInfo:
-        """Hit/miss/eviction counters and current occupancy."""
-        with self._lock:
-            return CacheInfo(self._hits, self._misses, self._evictions, len(self._entries), self._maxsize)
 
 
 class _MultiplierEntry:

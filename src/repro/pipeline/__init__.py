@@ -1,0 +1,60 @@
+"""Parallel sweep pipeline with a persistent artifact store.
+
+This package scales the implementation flow from "one multiplier at a time"
+to production-size grids (ROADMAP: sharding, batching, caching):
+
+* :mod:`repro.pipeline.store` — the shared caching layer: the generic
+  thread-safe :class:`LRUCache` (also backing :mod:`repro.engine.cache`) and
+  the content-addressed on-disk :class:`ArtifactStore` under
+  ``~/.cache/gf2m-repro`` (or ``--cache-dir`` / ``$GF2M_REPRO_CACHE_DIR``);
+* :mod:`repro.pipeline.stages` — the typed staged-job graph
+  ``generate → restructure → map → pack → time → report`` over the stage
+  functions of :mod:`repro.synth.flow` (the same functions ``implement()``
+  drives serially);
+* :mod:`repro.pipeline.scheduler` — :class:`SweepJob` execution, store-first,
+  serially or on a process pool, with deterministic result ordering;
+* :mod:`repro.pipeline.sweep` — the ``repro sweep`` grid API
+  (field × method × device × effort) and its table/JSON/CSV renderers.
+
+Quick start
+-----------
+>>> from repro.pipeline import run_sweep
+>>> result = run_sweep(fields=[(8, 2)], methods=["thiswork"], jobs=1)
+>>> [outcome.result.method for outcome in result.outcomes]
+['thiswork']
+"""
+
+from .scheduler import JobOutcome, SweepJob, artifact_key, execute_job, run_jobs
+from .stages import PIPELINE_STAGES, Stage, StageError, StageTrace, run_stages
+from .store import (
+    ArtifactStore,
+    CacheInfo,
+    LRUCache,
+    StoreInfo,
+    canonical_fingerprint,
+    default_cache_root,
+)
+from .sweep import SweepResult, build_sweep_jobs, format_sweep, run_sweep
+
+__all__ = [
+    "JobOutcome",
+    "SweepJob",
+    "artifact_key",
+    "execute_job",
+    "run_jobs",
+    "PIPELINE_STAGES",
+    "Stage",
+    "StageError",
+    "StageTrace",
+    "run_stages",
+    "ArtifactStore",
+    "CacheInfo",
+    "LRUCache",
+    "StoreInfo",
+    "canonical_fingerprint",
+    "default_cache_root",
+    "SweepResult",
+    "build_sweep_jobs",
+    "format_sweep",
+    "run_sweep",
+]

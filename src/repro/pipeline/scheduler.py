@@ -1,0 +1,167 @@
+"""Process-pool scheduler for pipeline jobs with deterministic ordering.
+
+A :class:`SweepJob` freezes everything that determines one implementation
+run: ``(method, field, device, options)``.  :func:`execute_job` runs one job
+— first consulting the content-addressed :class:`~repro.pipeline.store.ArtifactStore`
+(a warm hit costs one JSON read instead of seconds of synthesis) — and
+:func:`run_jobs` fans a job list out over a ``ProcessPoolExecutor``.
+
+Determinism: results are collected *in submission order* regardless of
+worker completion order, and the flow itself is deterministic (no RNG), so
+a parallel sweep's rows are byte-identical to the serial one's — a property
+the test suite asserts rather than assumes.
+
+The job and its outcome are plain picklable dataclasses; workers receive the
+store *root path* (not the store object) and open their own instance, so the
+pool works under both the ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..galois.pentanomials import type_ii_pentanomial
+from ..synth.device import ARTIX7, DeviceModel
+from ..synth.flow import SynthesisOptions
+from ..synth.report import ImplementationResult
+from .stages import run_stages
+from .store import ArtifactStore, canonical_fingerprint
+
+__all__ = ["SweepJob", "JobOutcome", "artifact_key", "execute_job", "run_jobs"]
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (field, method, device, options) point of a sweep grid."""
+
+    method: str
+    m: int
+    n: int
+    device: DeviceModel = ARTIX7
+    options: SynthesisOptions = SynthesisOptions()
+    #: Formally verify the generated circuit (the sweep enables this for
+    #: small fields only; it does not change the produced metrics).
+    verify: bool = False
+
+    @property
+    def modulus(self) -> int:
+        """The type II pentanomial of this job's field."""
+        return type_ii_pentanomial(self.m, self.n)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier used in logs and benchmarks."""
+        return f"{self.method}@({self.m},{self.n})/{self.device.name}/e{self.options.effort}"
+
+    def with_options(self, **changes: Any) -> "SweepJob":
+        """A copy of this job with some ``SynthesisOptions`` fields replaced."""
+        return replace(self, options=replace(self.options, **changes))
+
+
+@dataclass
+class JobOutcome:
+    """The result of one executed (or cache-served) sweep job."""
+
+    job: SweepJob
+    result: ImplementationResult
+    cache_hit: bool
+    elapsed_s: float
+
+
+def artifact_key(job: SweepJob) -> str:
+    """The content-addressed store key of a job's implementation result.
+
+    Covers the method, the exact modulus, every ``SynthesisOptions`` field
+    and every ``DeviceModel`` field — change any of them and the key (hence
+    the cache entry) changes.  The ``verify`` flag is deliberately excluded:
+    verification cannot alter the produced metrics, exactly like the
+    in-memory :class:`~repro.engine.cache.MultiplierCache` key.
+    """
+    return canonical_fingerprint(
+        {
+            "artifact": "implementation-result",
+            "method": job.method,
+            "modulus": job.modulus,
+            "device": job.device,
+            "options": job.options,
+        }
+    )
+
+
+def execute_job(job: SweepJob, store: Optional[ArtifactStore] = None) -> JobOutcome:
+    """Run one job through the staged pipeline, store-first.
+
+    On a store hit the result is rehydrated from JSON without touching the
+    synthesis flow; on a miss the full ``generate → … → report`` graph runs
+    and the result is persisted for every later sweep (including ones in
+    other processes).
+    """
+    started = time.perf_counter()
+    key = artifact_key(job)
+    if store is not None:
+        payload = store.get_json(key)
+        if payload is not None:
+            result = ImplementationResult.from_json_dict(payload["result"])
+            return JobOutcome(job=job, result=result, cache_hit=True, elapsed_s=time.perf_counter() - started)
+    trace = run_stages(job.method, job.modulus, device=job.device, options=job.options, verify=job.verify)
+    result = trace.artifacts.result
+    if store is not None:
+        store.put_json(
+            key,
+            {
+                "result": result.to_json_dict(),
+                "job": {
+                    "method": job.method,
+                    "m": job.m,
+                    "n": job.n,
+                    "device": job.device.name,
+                    "effort": job.options.effort,
+                },
+                "stage_seconds": {name: round(seconds, 6) for name, seconds in trace.stage_seconds.items()},
+            },
+        )
+    return JobOutcome(job=job, result=result, cache_hit=False, elapsed_s=time.perf_counter() - started)
+
+
+def _execute_job_in_worker(payload) -> JobOutcome:
+    """Top-level worker entry point (must be picklable by the pool)."""
+    job, store_root = payload
+    store = ArtifactStore(store_root) if store_root is not None else None
+    return execute_job(job, store=store)
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob],
+    parallelism: int = 1,
+    store: Optional[ArtifactStore] = None,
+) -> List[JobOutcome]:
+    """Execute a job list, serially or on a process pool, in job order.
+
+    ``parallelism`` ≤ 1 runs in-process (no pool, easiest to debug and
+    profile); higher values spread cold jobs over worker processes that
+    share the on-disk store.  The returned list always matches the order of
+    ``jobs``.
+    """
+    if not jobs:
+        return []
+    if parallelism <= 1 or len(jobs) == 1:
+        return [execute_job(job, store=store) for job in jobs]
+    store_root = str(store.root) if store is not None else None
+    workers = min(parallelism, len(jobs))
+    payloads = [(job, store_root) for job in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_job_in_worker, payloads, chunksize=1))
+
+
+def outcome_rows(outcomes: Sequence[JobOutcome]) -> List[Dict[str, Any]]:
+    """Flat dict rows (result metrics + job coordinates) for JSON/CSV export."""
+    rows: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        row = outcome.result.as_dict()
+        row["effort"] = outcome.job.options.effort
+        row["cache_hit"] = outcome.cache_hit
+        rows.append(row)
+    return rows

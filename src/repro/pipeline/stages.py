@@ -1,0 +1,125 @@
+"""The typed staged-job graph of the implementation pipeline.
+
+The flow's computation lives in the ``stage_*`` functions of
+:mod:`repro.synth.flow` (the single source of truth — ``implement()`` chains
+the very same functions).  This module declares them as a typed DAG of
+:class:`Stage` records — ``generate → restructure → map → pack → time →
+report`` — and provides :func:`run_stages`, the graph executor one sweep job
+runs through (in-process or inside a scheduler worker).
+
+Each stage names the context slots it *requires* and the one it *produces*;
+the executor walks the declared order, checks those contracts, and records
+per-stage wall-times, so a misordered or incomplete graph fails loudly
+instead of producing a partial artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from ..synth import flow as _flow
+from ..synth.device import ARTIX7, DeviceModel
+from ..synth.flow import FlowArtifacts, SynthesisOptions
+
+__all__ = ["Stage", "StageError", "PIPELINE_STAGES", "StageTrace", "run_stages"]
+
+
+class StageError(RuntimeError):
+    """A stage was executed without its declared inputs being available."""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the pipeline graph.
+
+    ``run`` receives the shared context dict and the job parameters and
+    returns the artifact stored under ``produces``.
+    """
+
+    name: str
+    requires: Tuple[str, ...]
+    produces: str
+    run: Callable[..., Any]
+
+
+def _run_generate(context: Dict[str, Any], *, method: str, modulus: int, verify: bool, **_: Any):
+    return _flow.stage_generate(method, modulus, verify=verify)
+
+
+def _run_restructure(context: Dict[str, Any], *, options: SynthesisOptions, **_: Any):
+    return _flow.stage_restructure(context["multiplier"], options)
+
+
+def _run_map(context: Dict[str, Any], *, device: DeviceModel, options: SynthesisOptions, **_: Any):
+    return _flow.stage_map(context["candidates"], device, options)
+
+
+def _run_pack(context: Dict[str, Any], *, device: DeviceModel, options: SynthesisOptions, **_: Any):
+    return _flow.stage_pack(context["mappings"], device, options)
+
+
+def _run_time(context: Dict[str, Any], *, device: DeviceModel, **_: Any):
+    return _flow.stage_time(context["packed"], device)
+
+
+def _run_report(context: Dict[str, Any], *, device: DeviceModel, **_: Any):
+    return _flow.stage_report(
+        context["timed"],
+        context["multiplier"],
+        device,
+        restructured=context["candidates"].restructured,
+    )
+
+
+#: The pipeline graph in execution order.  ``requires``/``produces`` name
+#: slots of the shared per-job context.
+PIPELINE_STAGES: Tuple[Stage, ...] = (
+    Stage("generate", requires=(), produces="multiplier", run=_run_generate),
+    Stage("restructure", requires=("multiplier",), produces="candidates", run=_run_restructure),
+    Stage("map", requires=("candidates",), produces="mappings", run=_run_map),
+    Stage("pack", requires=("mappings",), produces="packed", run=_run_pack),
+    Stage("time", requires=("packed",), produces="timed", run=_run_time),
+    Stage("report", requires=("timed", "multiplier", "candidates"), produces="artifacts", run=_run_report),
+)
+
+
+@dataclass
+class StageTrace:
+    """Execution record of one pipeline run: artifacts plus per-stage timings."""
+
+    artifacts: FlowArtifacts
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+def run_stages(
+    method: str,
+    modulus: int,
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(),
+    verify: bool = False,
+    stages: Tuple[Stage, ...] = PIPELINE_STAGES,
+) -> StageTrace:
+    """Execute the staged graph for one (method, modulus, device, options) job.
+
+    Returns the :class:`FlowArtifacts` of the winning candidate together
+    with per-stage wall-times.  The result is identical to
+    ``implement(stage_generate(method, modulus), device, options,
+    keep_artifacts=True)`` — both drive the same stage functions.
+    """
+    import time as _time
+
+    context: Dict[str, Any] = {}
+    timings: Dict[str, float] = {}
+    for stage in stages:
+        missing = [name for name in stage.requires if name not in context]
+        if missing:
+            raise StageError(f"stage {stage.name!r} is missing inputs {missing} (graph misordered?)")
+        started = _time.perf_counter()
+        context[stage.produces] = stage.run(
+            context, method=method, modulus=modulus, device=device, options=options, verify=verify
+        )
+        timings[stage.name] = _time.perf_counter() - started
+    if "artifacts" not in context:
+        raise StageError("pipeline graph finished without producing 'artifacts'")
+    return StageTrace(artifacts=context["artifacts"], stage_seconds=timings)

@@ -1,8 +1,23 @@
 """Pure-Python FPGA implementation flow (synthesis, mapping, packing, timing)."""
 
 from .balance import collect_xor_leaves, rebuild_netlist, restructure
-from .device import ARTIX7, GENERIC_4LUT, VIRTEX5_LIKE, DeviceModel
-from .flow import FlowArtifacts, SynthesisOptions, implement, implement_netlist
+from .device import ARTIX7, DEVICES, GENERIC_4LUT, VIRTEX5_LIKE, DeviceModel, device_by_name
+from .flow import (
+    FlowArtifacts,
+    MappingCandidate,
+    PackedCandidate,
+    RestructureOutcome,
+    SynthesisOptions,
+    TimedCandidate,
+    implement,
+    implement_netlist,
+    stage_generate,
+    stage_map,
+    stage_pack,
+    stage_report,
+    stage_restructure,
+    stage_time,
+)
 from .lutmap import MappedLUT, MappedNetwork, map_to_luts
 from .report import ImplementationResult, format_table
 from .slices import Slice, SlicePacking, pack_slices
@@ -14,13 +29,25 @@ __all__ = [
     "rebuild_netlist",
     "restructure",
     "ARTIX7",
+    "DEVICES",
     "GENERIC_4LUT",
     "VIRTEX5_LIKE",
     "DeviceModel",
+    "device_by_name",
     "FlowArtifacts",
+    "MappingCandidate",
+    "PackedCandidate",
+    "RestructureOutcome",
     "SynthesisOptions",
+    "TimedCandidate",
     "implement",
     "implement_netlist",
+    "stage_generate",
+    "stage_map",
+    "stage_pack",
+    "stage_report",
+    "stage_restructure",
+    "stage_time",
     "MappedLUT",
     "MappedNetwork",
     "map_to_luts",

@@ -28,7 +28,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["DeviceModel", "ARTIX7", "VIRTEX5_LIKE", "GENERIC_4LUT"]
+__all__ = [
+    "DeviceModel",
+    "ARTIX7",
+    "VIRTEX5_LIKE",
+    "GENERIC_4LUT",
+    "DEVICES",
+    "device_by_name",
+]
 
 
 @dataclass(frozen=True)
@@ -108,3 +115,27 @@ GENERIC_4LUT = DeviceModel(
     net_per_fanout_ns=0.20,
     congestion_per_size_ns=0.10,
 )
+
+#: Sweep-friendly catalog: short aliases the CLI accepts (``--devices``) in
+#: addition to every model's full ``name``.
+DEVICES = {
+    "artix7": ARTIX7,
+    "virtex5": VIRTEX5_LIKE,
+    "4lut": GENERIC_4LUT,
+}
+
+
+def device_by_name(name: str) -> DeviceModel:
+    """Resolve a device by short alias (``artix7``) or full model name.
+
+    >>> device_by_name("artix7").lut_inputs
+    6
+    """
+    key = name.strip().lower()
+    if key in DEVICES:
+        return DEVICES[key]
+    for device in DEVICES.values():
+        if device.name.lower() == key:
+            return device
+    known = ", ".join(sorted(DEVICES) + sorted(device.name for device in DEVICES.values()))
+    raise KeyError(f"unknown device {name!r}; known devices: {known}")

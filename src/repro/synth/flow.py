@@ -1,4 +1,4 @@
-"""The end-to-end FPGA implementation flow.
+"""The end-to-end FPGA implementation flow, decomposed into pipeline stages.
 
 ``implement()`` takes a generated multiplier and produces the metrics the
 paper reports (LUTs, slices, delay, Area×Time), running the same steps a
@@ -17,12 +17,25 @@ vendor flow would:
 The flow optionally re-verifies the (possibly restructured) netlist against
 the multiplier's :class:`~repro.spec.product_spec.ProductSpec` so that no
 optimisation can silently change the function.
+
+Every step lives in its own ``stage_*`` function (``stage_generate``,
+``stage_restructure``, ``stage_map``, ``stage_pack``, ``stage_time``,
+``stage_report``) — the single source of truth shared by ``implement()``
+(which chains them serially, preserving the historical behaviour exactly)
+and by :mod:`repro.pipeline`, whose staged-job graph runs the same functions
+per sweep job under a process pool with on-disk artifact caching.
+
+Memory note: the stage boundaries keep every explored mapping candidate
+alive until ``stage_report`` selects the winner (the pre-pipeline loop kept
+only a running best).  The effort search caps the grid at ≤ 3 netlists × 5
+configurations, tens of MB at the paper's largest field (m = 163) — a
+deliberate trade for stage-level caching, scheduling and introspection.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from ..multipliers.base import GeneratedMultiplier
 from ..netlist.netlist import Netlist
@@ -32,10 +45,25 @@ from .balance import restructure
 from .device import ARTIX7, DeviceModel
 from .lutmap import MappedNetwork, map_to_luts
 from .report import ImplementationResult
-from .slices import pack_slices
-from .timing import analyze_timing
+from .slices import SlicePacking, pack_slices
+from .timing import TimingResult, analyze_timing
 
-__all__ = ["SynthesisOptions", "FlowArtifacts", "implement", "implement_netlist"]
+__all__ = [
+    "SynthesisOptions",
+    "FlowArtifacts",
+    "RestructureOutcome",
+    "MappingCandidate",
+    "PackedCandidate",
+    "TimedCandidate",
+    "stage_generate",
+    "stage_restructure",
+    "stage_map",
+    "stage_pack",
+    "stage_time",
+    "stage_report",
+    "implement",
+    "implement_netlist",
+]
 
 
 @dataclass(frozen=True)
@@ -75,12 +103,66 @@ class SynthesisOptions:
 
 @dataclass
 class FlowArtifacts:
-    """Everything produced by one run of the flow (for inspection and tests)."""
+    """Everything produced by one run of the flow (for inspection and tests).
+
+    Besides the report and the winning netlist/mapping, the bundle carries
+    the slice-packing and timing results of the chosen implementation, so
+    callers never have to re-run those stages to inspect them.
+    """
 
     result: ImplementationResult
     netlist: Netlist
     mapped: MappedNetwork
     restructured: bool
+    packing: Optional[SlicePacking] = None
+    timing: Optional[TimingResult] = None
+
+
+@dataclass
+class RestructureOutcome:
+    """Output of the restructure stage: candidate netlists to map.
+
+    ``candidates`` preserves exploration order (the order the legacy
+    monolithic loop used), so downstream best-candidate selection is
+    deterministic and byte-identical to the serial flow.
+    """
+
+    candidates: List[Netlist]
+    restructured: bool
+
+
+@dataclass
+class MappingCandidate:
+    """One (netlist, mapping-configuration) point of the effort search."""
+
+    netlist: Netlist
+    mapped: MappedNetwork
+    cut_limit: int
+    depth_slack: int
+
+
+@dataclass
+class PackedCandidate:
+    """A mapping candidate with its slice packing attached."""
+
+    netlist: Netlist
+    mapped: MappedNetwork
+    packing: SlicePacking
+
+
+@dataclass
+class TimedCandidate:
+    """A packed candidate with timing and its Area×Time selection score."""
+
+    netlist: Netlist
+    mapped: MappedNetwork
+    packing: SlicePacking
+    timing: TimingResult
+
+    @property
+    def score(self) -> float:
+        """The flow's selection metric: LUT count × critical path."""
+        return self.mapped.lut_count * self.timing.critical_path_ns
 
 
 def _mapping_configurations(options: SynthesisOptions):
@@ -98,19 +180,30 @@ def _mapping_configurations(options: SynthesisOptions):
     return configurations
 
 
-def implement(
-    multiplier: GeneratedMultiplier,
-    device: DeviceModel = ARTIX7,
-    options: SynthesisOptions = SynthesisOptions(),
-    keep_artifacts: bool = False,
-):
-    """Run the full implementation flow on a generated multiplier.
+# ------------------------------------------------------------------- stages
+def stage_generate(
+    method: str, modulus: int, verify: bool = True, use_cache: bool = True
+) -> GeneratedMultiplier:
+    """Pipeline stage 1: obtain the generated multiplier circuit.
 
-    At ``options.effort`` > 1 several mapping strategies (and, for
-    restructurable netlists, several sharing depths) are explored and the
-    best implementation by Area×Time is reported — mirroring the strategy
-    search of a vendor flow.  Returns an :class:`ImplementationResult`, or a
-    :class:`FlowArtifacts` bundle when ``keep_artifacts`` is true.
+    Routes through the process-wide multiplier LRU by default, so a sweep
+    visiting the same ``(method, modulus)`` with several devices or efforts
+    derives the SiTi splitting exactly once per process.
+    """
+    from ..multipliers.registry import generate_multiplier
+
+    return generate_multiplier(method, modulus, verify=verify, use_cache=use_cache)
+
+
+def stage_restructure(
+    multiplier: GeneratedMultiplier, options: SynthesisOptions = SynthesisOptions()
+) -> RestructureOutcome:
+    """Pipeline stage 2: build the candidate netlists the mapper will explore.
+
+    Fixed-structure baselines pass through unchanged; restructurable
+    netlists yield one re-associated variant per explored sharing depth.
+    When ``options.verify`` is set every rebuilt netlist is formally checked
+    against the multiplier's spec before it may proceed down the flow.
     """
     source = multiplier.netlist
     allowed = source.attributes.get("restructure_allowed", False)
@@ -133,21 +226,81 @@ def implement(
                     raise RuntimeError(
                         f"restructuring changed the function of {multiplier.method}: {report.summary()}"
                     )
+    return RestructureOutcome(candidates=candidates, restructured=do_restructure)
 
-    best = None
-    for netlist in candidates:
+
+def stage_map(
+    outcome: RestructureOutcome,
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(),
+) -> List[MappingCandidate]:
+    """Pipeline stage 3: technology-map every candidate at every effort point.
+
+    The candidate-major, configuration-minor order mirrors the legacy
+    nested loop, keeping best-candidate tie-breaking identical.
+    """
+    mappings: List[MappingCandidate] = []
+    for netlist in outcome.candidates:
         for cut_limit, depth_slack in _mapping_configurations(options):
-            mapped_try = map_to_luts(
+            mapped = map_to_luts(
                 netlist, lut_inputs=device.lut_inputs, cut_limit=cut_limit, depth_slack=depth_slack
             )
-            packing_try = pack_slices(mapped_try, device, min_fill=options.min_slice_fill)
-            timing_try = analyze_timing(mapped_try, device)
-            score = mapped_try.lut_count * timing_try.critical_path_ns
-            if best is None or score < best[0]:
-                best = (score, netlist, mapped_try, packing_try, timing_try)
+            mappings.append(
+                MappingCandidate(netlist=netlist, mapped=mapped, cut_limit=cut_limit, depth_slack=depth_slack)
+            )
+    return mappings
 
-    _, netlist, mapped, packing, timing = best
-    stats = gather_stats(netlist)
+
+def stage_pack(
+    mappings: Sequence[MappingCandidate],
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(),
+) -> List[PackedCandidate]:
+    """Pipeline stage 4: pack every mapped candidate into device slices."""
+    return [
+        PackedCandidate(
+            netlist=candidate.netlist,
+            mapped=candidate.mapped,
+            packing=pack_slices(candidate.mapped, device, min_fill=options.min_slice_fill),
+        )
+        for candidate in mappings
+    ]
+
+
+def stage_time(
+    packed: Sequence[PackedCandidate], device: DeviceModel = ARTIX7
+) -> List[TimedCandidate]:
+    """Pipeline stage 5: static timing analysis of every packed candidate."""
+    return [
+        TimedCandidate(
+            netlist=candidate.netlist,
+            mapped=candidate.mapped,
+            packing=candidate.packing,
+            timing=analyze_timing(candidate.mapped, device),
+        )
+        for candidate in packed
+    ]
+
+
+def stage_report(
+    timed: Sequence[TimedCandidate],
+    multiplier: GeneratedMultiplier,
+    device: DeviceModel = ARTIX7,
+    restructured: bool = False,
+) -> FlowArtifacts:
+    """Pipeline stage 6: pick the best candidate and build the report.
+
+    Selection is a strict minimum over the Area×Time score in exploration
+    order — the first candidate wins ties, exactly as the monolithic loop
+    did before the decomposition.
+    """
+    if not timed:
+        raise ValueError("stage_report needs at least one timed candidate")
+    best = timed[0]
+    for candidate in timed[1:]:
+        if candidate.score < best.score:
+            best = candidate
+    stats = gather_stats(best.netlist)
 
     field_params = None
     from ..galois.pentanomials import type_ii_parameters
@@ -161,19 +314,51 @@ def implement(
         reference=multiplier.reference,
         m=multiplier.m,
         n=field_params,
-        luts=mapped.lut_count,
-        slices=packing.slice_count,
-        delay_ns=timing.critical_path_ns,
+        luts=best.mapped.lut_count,
+        slices=best.packing.slice_count,
+        delay_ns=best.timing.critical_path_ns,
         and_gates=stats.and_gates,
         xor_gates=stats.xor_gates,
-        lut_levels=mapped.depth,
-        average_slice_fill=packing.average_fill(),
-        restructured=do_restructure,
+        lut_levels=best.mapped.depth,
+        average_slice_fill=best.packing.average_fill(),
+        restructured=restructured,
         device=device.name,
     )
+    return FlowArtifacts(
+        result=result,
+        netlist=best.netlist,
+        mapped=best.mapped,
+        restructured=restructured,
+        packing=best.packing,
+        timing=best.timing,
+    )
+
+
+# ------------------------------------------------------------------ drivers
+def implement(
+    multiplier: GeneratedMultiplier,
+    device: DeviceModel = ARTIX7,
+    options: SynthesisOptions = SynthesisOptions(),
+    keep_artifacts: bool = False,
+):
+    """Run the full implementation flow on a generated multiplier.
+
+    A thin serial driver over the pipeline stages: restructure → map → pack
+    → time → report.  At ``options.effort`` > 1 several mapping strategies
+    (and, for restructurable netlists, several sharing depths) are explored
+    and the best implementation by Area×Time is reported — mirroring the
+    strategy search of a vendor flow.  Returns an
+    :class:`ImplementationResult`, or the full :class:`FlowArtifacts` bundle
+    when ``keep_artifacts`` is true.
+    """
+    outcome = stage_restructure(multiplier, options)
+    mappings = stage_map(outcome, device, options)
+    packed = stage_pack(mappings, device, options)
+    timed = stage_time(packed, device)
+    artifacts = stage_report(timed, multiplier, device, restructured=outcome.restructured)
     if keep_artifacts:
-        return FlowArtifacts(result=result, netlist=netlist, mapped=mapped, restructured=do_restructure)
-    return result
+        return artifacts
+    return artifacts.result
 
 
 def implement_netlist(

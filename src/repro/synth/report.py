@@ -8,7 +8,7 @@ average slice fill), plus enough provenance to regenerate the row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, List, Optional
 
 __all__ = ["ImplementationResult", "format_table"]
@@ -41,6 +41,21 @@ class ImplementationResult:
     def field_label(self) -> str:
         """``(m,n)`` label used in the paper's tables."""
         return f"({self.m},{self.n})" if self.n is not None else f"(m={self.m})"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Lossless field dictionary for the artifact store.
+
+        Unlike :meth:`as_dict` nothing is rounded here, so a result
+        rehydrated from the store is bit-identical to the freshly computed
+        one — the property the sweep determinism tests rely on.
+        """
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, object]) -> "ImplementationResult":
+        """Rebuild a result from :meth:`to_json_dict` output (extra keys ignored)."""
+        known = {field.name for field in fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view (used by table rendering and JSON export)."""

@@ -7,6 +7,16 @@ import pytest
 from repro.galois import GF2mField, type_ii_pentanomial
 
 
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    """Keep every test hermetic: never touch the user's ~/.cache store.
+
+    CLI commands default to the on-disk artifact store, so the default root
+    is redirected to a per-test temporary directory.
+    """
+    monkeypatch.setenv("GF2M_REPRO_CACHE_DIR", str(tmp_path / "artifact-cache"))
+
+
 @pytest.fixture(scope="session")
 def gf28_modulus() -> int:
     """The paper's GF(2^8) pentanomial y^8 + y^4 + y^3 + y^2 + 1."""

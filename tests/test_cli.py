@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_fields, build_parser, main
 
 
 class TestParser:
@@ -127,3 +127,98 @@ class TestBenchCommand:
         assert main(["bench", "-m", "16", "-n", "3", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "interpreted" in out and "compiled" in out and "speedup" in out
+
+
+class TestParseFields:
+    def test_paper_keyword(self):
+        assert len(_parse_fields("paper")) == 9
+
+    def test_explicit_pairs_with_spaces(self):
+        assert _parse_fields(" 8:2 , 16:3 ") == [(8, 2), (16, 3)]
+
+    @pytest.mark.parametrize("bad", ["8", "8:", ":2", "8:two", "8;2", "m:n"])
+    def test_malformed_spec_exits_with_clear_message(self, bad):
+        with pytest.raises(SystemExit, match="invalid field spec"):
+            _parse_fields(bad)
+
+    def test_empty_spec_exits(self):
+        with pytest.raises(SystemExit, match="no fields"):
+            _parse_fields(" , ")
+
+    def test_out_of_range_field_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="invalid field spec '163:999'"):
+            _parse_fields("163:999")
+
+    def test_compare_command_reports_malformed_fields(self, capsys):
+        with pytest.raises(SystemExit, match="expected 'm:n'"):
+            main(["compare", "--fields", "8x2", "--no-cache"])
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--fields", "8:2", "--methods", "thiswork", "--efforts", "1"]
+
+    def test_sweep_table_output(self, capsys):
+        assert main(self.ARGS + ["--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "thiswork" in captured.out and "(8,2)" in captured.out
+        assert "cache: disabled" in captured.err
+
+    def test_sweep_warm_cache_reports_hits(self, tmp_path, capsys):
+        cache_args = self.ARGS + ["--cache-dir", str(tmp_path / "cache")]
+        assert main(cache_args) == 0
+        assert "1 misses" in capsys.readouterr().err
+        assert main(cache_args) == 0
+        assert "1 hits, 0 misses" in capsys.readouterr().err
+
+    def test_sweep_parallel_json_output(self, capsys):
+        import json
+
+        assert main([
+            "sweep", "--fields", "8:2,16:3", "--methods", "thiswork,imana2016",
+            "--efforts", "1", "--jobs", "2", "--format", "json", "--no-cache",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4 and {row["method"] for row in rows} == {"thiswork", "imana2016"}
+
+    def test_sweep_multi_effort_csv(self, capsys):
+        assert main(self.ARGS[:-1] + ["1,2", "--format", "csv", "--no-cache"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("method,") and len(lines) == 3
+
+    def test_sweep_stats_lines(self, capsys):
+        assert main(self.ARGS + ["--no-cache", "--stats"]) == 0
+        assert "[miss]" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_device(self):
+        with pytest.raises(SystemExit, match="unknown device"):
+            main(self.ARGS + ["--devices", "asic", "--no-cache"])
+
+    def test_sweep_rejects_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown multiplier method"):
+            main(["sweep", "--fields", "8:2", "--methods", "nope", "--no-cache"])
+
+    def test_sweep_rejects_empty_method_list(self):
+        with pytest.raises(SystemExit, match="no methods given"):
+            main(["sweep", "--fields", "8:2", "--methods", ",", "--no-cache"])
+
+    def test_sweep_rejects_empty_device_list(self):
+        with pytest.raises(SystemExit, match="no devices given"):
+            main(self.ARGS + ["--devices", ",", "--no-cache"])
+
+    def test_compare_rejects_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown multiplier method"):
+            main(["compare", "--fields", "8:2", "--methods", "nope", "--no-cache"])
+
+    def test_sweep_rejects_bad_efforts(self):
+        with pytest.raises(SystemExit, match="invalid effort"):
+            main(self.ARGS[:-1] + ["one", "--no-cache"])
+
+    def test_compare_with_jobs_and_cache(self, tmp_path, capsys):
+        args = [
+            "compare", "--fields", "8:2", "--methods", "thiswork", "--effort", "1",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

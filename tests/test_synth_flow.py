@@ -7,7 +7,17 @@ import pytest
 from repro.galois.pentanomials import type_ii_pentanomial
 from repro.multipliers import generate_multiplier
 from repro.synth.device import ARTIX7, GENERIC_4LUT
-from repro.synth.flow import FlowArtifacts, SynthesisOptions, implement, implement_netlist
+from repro.synth.flow import (
+    FlowArtifacts,
+    SynthesisOptions,
+    implement,
+    implement_netlist,
+    stage_map,
+    stage_pack,
+    stage_report,
+    stage_restructure,
+    stage_time,
+)
 from repro.synth.report import ImplementationResult, format_table
 
 
@@ -40,6 +50,15 @@ class TestImplement:
         assert isinstance(artifacts, FlowArtifacts)
         assert artifacts.result.luts == artifacts.mapped.lut_count
         assert verify_netlist(artifacts.netlist, multiplier.spec).equivalent
+
+    def test_artifacts_carry_packing_and_timing(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        artifacts = implement(multiplier, keep_artifacts=True)
+        assert artifacts.packing is not None
+        assert artifacts.packing.slice_count == artifacts.result.slices
+        assert artifacts.packing.average_fill() == pytest.approx(artifacts.result.average_slice_fill)
+        assert artifacts.timing is not None
+        assert artifacts.timing.critical_path_ns == pytest.approx(artifacts.result.delay_ns)
 
     def test_effort_levels_never_hurt(self, gf28_modulus):
         multiplier = generate_multiplier("thiswork", gf28_modulus)
@@ -118,6 +137,44 @@ class TestMediumFieldShape:
         large = implement(generate_multiplier("thiswork", type_ii_pentanomial(32, 11), verify=False))
         ratio = large.luts / small.luts
         assert 2.5 < ratio < 6.5    # ideal quadratic scaling would be 4x
+
+
+class TestStageDecomposition:
+    """implement() is a thin driver over the stage functions — same results."""
+
+    def test_manual_stage_chain_matches_implement(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        options = SynthesisOptions(effort=2)
+        outcome = stage_restructure(multiplier, options)
+        mappings = stage_map(outcome, ARTIX7, options)
+        packed = stage_pack(mappings, ARTIX7, options)
+        timed = stage_time(packed, ARTIX7)
+        artifacts = stage_report(timed, multiplier, ARTIX7, restructured=outcome.restructured)
+        assert artifacts.result == implement(multiplier, options=options)
+
+    def test_restructure_stage_respects_fixed_structure(self, gf28_modulus):
+        multiplier = generate_multiplier("imana2016", gf28_modulus)
+        outcome = stage_restructure(multiplier, SynthesisOptions())
+        assert outcome.restructured is False
+        assert outcome.candidates == [multiplier.netlist]
+
+    def test_effort_controls_explored_candidates(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        low = stage_map(stage_restructure(multiplier, SynthesisOptions(effort=1)), ARTIX7, SynthesisOptions(effort=1))
+        high = stage_map(stage_restructure(multiplier, SynthesisOptions(effort=3)), ARTIX7, SynthesisOptions(effort=3))
+        assert len(high) > len(low)
+
+    def test_report_stage_needs_candidates(self, gf28_modulus):
+        multiplier = generate_multiplier("thiswork", gf28_modulus)
+        with pytest.raises(ValueError, match="at least one timed candidate"):
+            stage_report([], multiplier, ARTIX7)
+
+
+def test_result_json_roundtrip(gf28_modulus):
+    result = implement(generate_multiplier("thiswork", gf28_modulus))
+    rebuilt = ImplementationResult.from_json_dict(result.to_json_dict())
+    assert rebuilt == result
+    assert rebuilt.delay_ns == result.delay_ns  # to_json_dict does not round
 
 
 def test_format_table_layout(gf28_modulus):
