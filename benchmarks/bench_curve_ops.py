@@ -1,0 +1,207 @@
+"""Curve operations — scalar multiplication before/after the field upgrades.
+
+Prices the two field-layer changes underneath :mod:`repro.curves` on an
+identical algorithm: the Montgomery ladder on B-163 is run once over the
+**seed** field operations (squaring as a generic ``multiply(a, a)``,
+inversion as the Fermat square-and-multiply power) and once over the
+upgraded ones (linear-map squaring, Itoh-Tsujii addition chain).  The
+affine-coordinate ladder exposes both upgrades — two inversions per step —
+and its speedup is asserted to be **≥ 5×**; the López-Dahab projective
+ladder (one inversion total) is reported alongside as the production path.
+
+Also runs the batched-ECDH workload and asserts the batch results are
+byte-identical to the scalar-ladder reference before reporting throughput.
+
+Run standalone for the CI smoke check or a quick local look::
+
+    PYTHONPATH=src python benchmarks/bench_curve_ops.py --quick
+
+or under pytest with the rest of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.curves import curve_by_name, curve_catalog, ecdh_batch, keygen_batch
+from repro.curves.point import BinaryCurve
+from repro.galois.field import GF2mField
+
+#: The acceptance floor for the affine-ladder before/after comparison.
+SPEEDUP_FLOOR = 5.0
+
+#: Scalar widths: full-width B-163 scalars, or short ones for CI smoke runs
+#: (the ladder cost is linear in the width, so the ratio is unaffected).
+FULL_BITS = 163
+QUICK_BITS = 40
+
+
+class SeedOpsField(GF2mField):
+    """GF(2^m) with the seed implementations of the upgraded operations.
+
+    Squaring pays a full carry-less product + reduction, inversion the
+    Fermat ``a^(2^m - 2)`` square-and-multiply, and constant multiplication
+    is an ordinary product — exactly what the field did before this
+    subsystem landed.  Used to price the upgrades on identical ladder code.
+    """
+
+    def square(self, a: int) -> int:
+        return self.multiply(a, a)
+
+    def inverse(self, a: int, method: str = "fermat") -> int:
+        return super().inverse(a, method="fermat")
+
+    def constant_multiplier(self, c: int):
+        self._check(c)
+        return lambda value: self.multiply(c, value)
+
+
+def build_curves(name: str = "B-163"):
+    """The catalog curve plus a twin running on seed field operations."""
+    fast = curve_by_name(name)
+    spec = curve_catalog()[name.upper()]
+    seed_field = SeedOpsField(spec.modulus)
+    seed = BinaryCurve(
+        seed_field, spec.a, spec.coefficient_b(), name=f"{name}(seed-ops)",
+        order=spec.order, cofactor=spec.cofactor,
+    )
+    return fast, seed
+
+
+def measure_ladder(curve: BinaryCurve, coords: str, scalars, repeat: int = 1) -> float:
+    """Seconds per Montgomery-ladder scalar multiplication (best of repeat)."""
+    point = curve.random_point(random.Random(2018))
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for scalar in scalars:
+            curve.multiply(point, scalar, coords=coords)
+        best = min(best, (time.perf_counter() - start) / len(scalars))
+    return best
+
+
+def measure_field_ops(curve: BinaryCurve, seed_curve: BinaryCurve, samples: int = 200):
+    """Microbenchmark rows for square and inverse, seed vs upgraded."""
+    rng = random.Random(7)
+    values = [rng.getrandbits(curve.field.m) | 1 for _ in range(samples)]
+    rows = []
+    for label, field, count in (
+        ("square (seed)", seed_curve.field, samples),
+        ("square (linear map)", curve.field, samples),
+        ("inverse (fermat)", seed_curve.field, max(samples // 40, 3)),
+        ("inverse (itoh-tsujii)", curve.field, max(samples // 4, 3)),
+    ):
+        operation = field.square if label.startswith("square") else field.inverse
+        operation(values[0])  # warm lazy tables
+        start = time.perf_counter()
+        for value in values[:count]:
+            operation(value)
+        rows.append((label, (time.perf_counter() - start) / count))
+    return rows
+
+
+def measure_batched_ecdh(curve: BinaryCurve, batch: int):
+    """(batch_rate, scalar_rate) in ladders/s; asserts byte-identical results."""
+    alice = keygen_batch(curve, batch, seed=11)
+    bob = keygen_batch(curve, batch, seed=12)
+    privates = [pair.private for pair in alice]
+    peers = [pair.public for pair in bob]
+
+    start = time.perf_counter()
+    batched = ecdh_batch(curve, privates, peers)
+    batched_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = ecdh_batch(curve, privates, peers, batched=False)
+    scalar_s = time.perf_counter() - start
+
+    if batched != scalar:
+        raise AssertionError("batched ECDH disagrees with the scalar reference path")
+    return batch / batched_s, batch / scalar_s
+
+
+def run(quick: bool = False, batch: int = 16):
+    """All measurements for the report/assertions; returns a result dict."""
+    fast, seed = build_curves("B-163")
+    bits = QUICK_BITS if quick else FULL_BITS
+    rng = random.Random(163)
+    scalars = [rng.getrandbits(bits) | (1 << (bits - 1)) for _ in range(1 if quick else 2)]
+
+    fast.multiply(fast.generator, 3)  # warm the lazy squaring tables
+    affine_seed = measure_ladder(seed, "affine", scalars)
+    affine_fast = measure_ladder(fast, "affine", scalars, repeat=2)
+    ld_seed = measure_ladder(seed, "ld", scalars)
+    ld_fast = measure_ladder(fast, "ld", scalars, repeat=2)
+    batch_rate, scalar_rate = measure_batched_ecdh(fast, batch)
+    return {
+        "bits": bits,
+        "field_ops": measure_field_ops(fast, seed),
+        "affine_seed_s": affine_seed,
+        "affine_fast_s": affine_fast,
+        "affine_speedup": affine_seed / affine_fast,
+        "ld_seed_s": ld_seed,
+        "ld_fast_s": ld_fast,
+        "ld_speedup": ld_seed / ld_fast,
+        "overall_speedup": affine_seed / ld_fast,
+        "batch": batch,
+        "batch_rate": batch_rate,
+        "scalar_rate": scalar_rate,
+        "batch_speedup": batch_rate / scalar_rate,
+    }
+
+
+def report(result) -> str:
+    lines = ["B-163 field operations (per op):"]
+    for label, seconds in result["field_ops"]:
+        lines.append(f"  {label:<24s} {seconds * 1e6:>10,.1f} us")
+    lines.append(f"B-163 Montgomery ladder, {result['bits']}-bit scalars (per scalar mult):")
+    lines.append(
+        f"  affine  seed {result['affine_seed_s'] * 1000:>9.1f} ms   upgraded "
+        f"{result['affine_fast_s'] * 1000:>9.1f} ms   speedup {result['affine_speedup']:>6.1f}x"
+    )
+    lines.append(
+        f"  LD-proj seed {result['ld_seed_s'] * 1000:>9.1f} ms   upgraded "
+        f"{result['ld_fast_s'] * 1000:>9.1f} ms   speedup {result['ld_speedup']:>6.1f}x"
+    )
+    lines.append(f"  seed affine -> upgraded LD-projective: {result['overall_speedup']:.1f}x")
+    lines.append(
+        f"B-163 ECDH, batch {result['batch']} (byte-identical to scalar reference): "
+        f"batched {result['batch_rate']:,.1f} ladders/s vs scalar {result['scalar_rate']:,.1f} "
+        f"({result['batch_speedup']:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- pytest
+def test_ladder_speedup_floor():
+    """The acceptance figure: ≥5× on an identical affine Montgomery ladder."""
+    result = run(quick=True, batch=48)
+    print("\n" + report(result))
+    assert result["affine_speedup"] >= SPEEDUP_FLOOR, (
+        f"only {result['affine_speedup']:.1f}x with the linear-map squaring + "
+        f"Itoh-Tsujii inversion (floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="curve scalar-mult before/after the field upgrades")
+    parser.add_argument("--quick", action="store_true", help="short scalars, small batch (CI smoke)")
+    parser.add_argument("--batch", type=int, default=None, help="ECDH batch size (default 128, quick 48)")
+    args = parser.parse_args(argv)
+    batch = args.batch if args.batch is not None else (48 if args.quick else 128)
+    result = run(quick=args.quick, batch=batch)
+    print(report(result))
+    if result["affine_speedup"] < SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"speedup regression: {result['affine_speedup']:.1f}x < {SPEEDUP_FLOOR:.0f}x "
+            "on the affine Montgomery ladder"
+        )
+    print(f"ok: affine-ladder speedup {result['affine_speedup']:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,11 @@ J. L. Imaña builds or depends on:
 * VHDL/Verilog emission (:mod:`repro.hdl`) and the Table V comparison
   harness (:mod:`repro.analysis`);
 * the parallel sweep pipeline — staged job graph, process-pool scheduler
-  and persistent content-addressed artifact store (:mod:`repro.pipeline`).
+  and persistent content-addressed artifact store (:mod:`repro.pipeline`);
+* binary elliptic curves over the paper's pentanomial fields — NIST-degree
+  K/B catalog, Montgomery-ladder scalar multiplication (scalar and batched
+  through the engine), ECDH and ECDSA-style protocols
+  (:mod:`repro.curves`).
 
 Quick start
 -----------
@@ -40,6 +44,23 @@ from .analysis import (
     render_table4,
     run_comparison,
 )
+from .curves import (
+    CURVES,
+    BinaryCurve,
+    CurveSpec,
+    KeyPair,
+    Point,
+    Signature,
+    available_curves,
+    curve_by_name,
+    curve_catalog,
+    ecdh_batch,
+    ecdh_shared,
+    ecdsa_sign,
+    ecdsa_verify,
+    generate_keypair,
+    keygen_batch,
+)
 from .engine import (
     CompiledNetlist,
     Engine,
@@ -55,6 +76,7 @@ from .galois import (
     PAPER_TABLE5_FIELDS,
     FieldElement,
     FieldSpec,
+    GF2LinearMap,
     GF2mField,
     field_catalog,
     find_type_ii_pentanomials,
@@ -119,10 +141,26 @@ __all__ = [
     "default_multiplier_cache",
     "engine_for",
     "engine_for_netlist",
+    "CURVES",
+    "BinaryCurve",
+    "CurveSpec",
+    "KeyPair",
+    "Point",
+    "Signature",
+    "available_curves",
+    "curve_by_name",
+    "curve_catalog",
+    "ecdh_batch",
+    "ecdh_shared",
+    "ecdsa_sign",
+    "ecdsa_verify",
+    "generate_keypair",
+    "keygen_batch",
     "NIST_ECDSA_DEGREES",
     "PAPER_TABLE5_FIELDS",
     "FieldElement",
     "FieldSpec",
+    "GF2LinearMap",
     "GF2mField",
     "field_catalog",
     "find_type_ii_pentanomials",

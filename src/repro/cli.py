@@ -13,6 +13,8 @@ Subcommands
 ``bench``       measure interpreted vs compiled multiplication throughput
 ``sweep``       run a field x method x device x effort grid through the
                 parallel pipeline with the persistent artifact store
+``curves``      list the elliptic-curve catalog (NIST-degree K/B curves)
+``ecdh``        run the batched ECDH workload on one curve and report ops/s
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import List, Optional
 
 from .analysis.compare import claims_report, comparison_table, compare_to_paper, run_comparison
 from .analysis.tables import render_table1, render_table2, render_table3, render_table4
+from .curves import CURVES, curve_by_name, ecdh_batch, keygen_batch
 from .engine import default_multiplier_cache, engine_for
 from .galois.field import GF2mField
 from .galois.gf2poly import poly_to_string
@@ -137,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--method", default="thiswork")
     bench.add_argument("--pairs", type=int, default=2048, help="operand pairs per measurement (default 2048)")
     bench.add_argument("--quick", action="store_true", help="small fast run for CI smoke tests")
+
+    subparsers.add_parser("curves", help="list the elliptic-curve catalog")
+
+    ecdh = subparsers.add_parser("ecdh", help="batched ECDH key agreement workload on one curve")
+    ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
+    ecdh.add_argument("--batch", type=int, default=64, help="independent key agreements per side (default 64)")
+    ecdh.add_argument("--jobs", type=int, default=1, help="worker processes sharding the batch (default 1)")
+    ecdh.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
+    ecdh.add_argument(
+        "--check", type=int, default=0, metavar="N",
+        help="cross-check the first N results against the scalar-ladder reference path",
+    )
     return parser
 
 
@@ -231,6 +246,88 @@ def _run_bench(args) -> int:
     print(f"  interpreted  {pairs / interpreted_s:>12,.0f} products/s")
     print(f"  compiled     {pairs / compiled_s:>12,.0f} products/s")
     print(f"  speedup      {interpreted_s / compiled_s:>12.1f}x")
+    return 0
+
+
+def _ecdh_shard(payload) -> List[tuple]:
+    """Worker for ``repro ecdh --jobs``: one shard of the agreement batch.
+
+    Takes plain picklable data (curve name, scalars, peer coordinates) and
+    returns coordinate tuples so shards compose deterministically.  Under
+    the ``fork`` start method the child inherits the parent's warm engine
+    and curve caches, so no per-worker recompilation happens.
+    """
+    curve_name, privates, peer_coords = payload
+    curve = curve_by_name(curve_name)
+    peers = [curve.point(x, y, check=False) for x, y in peer_coords]
+    return [(point.x, point.y) for point in ecdh_batch(curve, privates, peers)]
+
+
+def _ecdh_agreements(curve, privates, peers, jobs: int) -> List:
+    """The batch of shared points, optionally sharded over worker processes."""
+    if jobs <= 1 or len(privates) < 2:
+        return ecdh_batch(curve, privates, peers)
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("note: no fork start method on this platform; running --jobs 1", file=sys.stderr)
+        return ecdh_batch(curve, privates, peers)
+    jobs = min(jobs, len(privates))
+    chunk = (len(privates) + jobs - 1) // jobs
+    payloads = [
+        (
+            curve.name,
+            list(privates[start:start + chunk]),
+            [(point.x, point.y) for point in peers[start:start + chunk]],
+        )
+        for start in range(0, len(privates), chunk)
+    ]
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        shard_results = list(pool.map(_ecdh_shard, payloads))
+    return [curve.point(x, y, check=False) for shard in shard_results for x, y in shard]
+
+
+def _run_ecdh(args) -> int:
+    try:
+        curve = curve_by_name(args.curve)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
+    if args.batch < 1:
+        raise SystemExit("--batch must be at least 1")
+    if args.check < 0:
+        raise SystemExit("--check must be non-negative")
+    print(curve.describe())
+
+    start = time.perf_counter()
+    alice = keygen_batch(curve, args.batch, seed=args.seed)
+    bob = keygen_batch(curve, args.batch, seed=args.seed + 1)
+    keygen_s = time.perf_counter() - start
+
+    alice_privates = [pair.private for pair in alice]
+    bob_privates = [pair.private for pair in bob]
+    start = time.perf_counter()
+    alice_shared = _ecdh_agreements(curve, alice_privates, [pair.public for pair in bob], args.jobs)
+    bob_shared = _ecdh_agreements(curve, bob_privates, [pair.public for pair in alice], args.jobs)
+    agree_s = time.perf_counter() - start
+
+    if alice_shared != bob_shared:
+        raise SystemExit("ECDH FAILURE: the two sides disagree on the shared secret")
+    if args.check:
+        count = min(args.check, args.batch)
+        for index in range(count):
+            reference = curve.multiply(bob[index].public, alice[index].private)
+            if alice_shared[index] != reference:
+                raise SystemExit(f"MISMATCH: batched agreement {index} != scalar-ladder reference")
+        print(f"checked {count} agreements against the scalar-ladder reference: byte-identical")
+
+    ladders = 2 * args.batch  # one per side per agreement
+    keygen_rate = 2 * args.batch / keygen_s if keygen_s > 0 else float("inf")
+    agree_rate = ladders / agree_s if agree_s > 0 else float("inf")
+    print(f"batch {args.batch}, jobs {args.jobs}: all {args.batch} shared secrets agree")
+    print(f"  keygen     {2 * args.batch:>6d} ladders in {keygen_s * 1000:>8.1f} ms ({keygen_rate:,.1f} ops/s)")
+    print(f"  agreement  {ladders:>6d} ladders in {agree_s * 1000:>8.1f} ms ({agree_rate:,.1f} ops/s)")
     return 0
 
 
@@ -332,6 +429,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for spec in PAPER_TABLE5_FIELDS:
             print(f"({spec.m},{spec.n})  {spec.standard or '-':<6s} {spec.modulus_string()}")
         return 0
+
+    if args.command == "curves":
+        print(f"{'name':<7s} {'field':<10s} {'a':>1s} {'order':<12s} {'standard':<12s} note")
+        for spec in CURVES:
+            order = f"{spec.order.bit_length()}-bit n" if spec.order else "unknown"
+            print(
+                f"{spec.name:<7s} ({spec.m},{spec.n:<3d})  {spec.a:>1d} {order:<12s} "
+                f"{spec.standard or '-':<12s} {spec.note}"
+            )
+        return 0
+
+    if args.command == "ecdh":
+        return _run_ecdh(args)
 
     if args.command == "tables":
         modulus = type_ii_pentanomial(args.m, args.n)

@@ -6,7 +6,7 @@ and every field in the paper's evaluation is described by a
 :class:`~repro.galois.pentanomials.FieldSpec` from the catalog.
 """
 
-from .field import FieldElement, GF2mField
+from .field import FieldElement, GF2LinearMap, GF2mField
 from .gf2poly import (
     clmul,
     degree,
@@ -49,6 +49,7 @@ from .pentanomials import (
 
 __all__ = [
     "FieldElement",
+    "GF2LinearMap",
     "GF2mField",
     "clmul",
     "degree",

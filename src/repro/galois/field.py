@@ -5,15 +5,28 @@ multiplier circuit is verified.  Elements of GF(2^m) are represented in the
 canonical basis ``{1, x, ..., x^(m-1)}`` and stored as integers whose bit
 ``i`` is the coordinate ``a_i``.
 
-The implementation is deliberately straightforward (multiply then reduce);
-its job is correctness, not speed — the *circuits* produced by
-:mod:`repro.multipliers` are the objects whose structure matters.
+General multiplication stays deliberately straightforward (carry-less
+multiply then reduce); its job is correctness — the *circuits* produced by
+:mod:`repro.multipliers` are the fast path for operand streams (see
+:meth:`GF2mField.multiply_batch`).  The GF(2)-**linear** operations that
+dominate elliptic-curve point arithmetic do get native fast paths, because
+no batching can hide their latency inside a scalar-multiplication ladder:
+
+* :meth:`GF2mField.square` applies a precomputed sparse linear map (squaring
+  permutes basis coordinates and reduces, it never needs a full product);
+* :meth:`GF2mField.inverse` walks the Itoh-Tsujii addition chain — ``m - 1``
+  fast squarings plus ``O(log m)`` multiplications — with Fermat's
+  ``a^(2^m - 2)`` power kept as the independent cross-check reference;
+* :meth:`GF2mField.constant_multiplier` compiles multiplication by a fixed
+  element into the same kind of table-driven linear map;
+* :meth:`GF2mField.inverse_batch` amortizes one inversion over a whole
+  operand stream with Montgomery's simultaneous-inversion trick.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from .gf2poly import (
     clmul,
@@ -25,7 +38,49 @@ from .gf2poly import (
 )
 from .pentanomials import type_ii_parameters
 
-__all__ = ["GF2mField", "FieldElement"]
+__all__ = ["GF2mField", "FieldElement", "GF2LinearMap"]
+
+
+class GF2LinearMap:
+    """A GF(2)-linear map on field elements, compiled to per-byte tables.
+
+    The map is defined by the images ``masks[i]`` of the basis vectors
+    ``y^i``; applying it to an element XORs the images of its set bits.
+    Bits are consumed eight at a time through 256-entry lookup tables, so an
+    application costs ``ceil(m / 8)`` table lookups and XORs — for the
+    NIST-size fields that is 20-70 word operations instead of a full
+    carry-less product and reduction.
+    """
+
+    __slots__ = ("tables", "input_bits")
+
+    def __init__(self, masks: Sequence[int]) -> None:
+        self.input_bits = len(masks)
+        tables: List[List[int]] = []
+        for start in range(0, len(masks), 8):
+            chunk = masks[start:start + 8]
+            table = [0] * 256
+            for bit, mask in enumerate(chunk):
+                step = 1 << bit
+                for base in range(0, 256, step << 1):
+                    for offset in range(step):
+                        table[base + step + offset] = table[base + offset] ^ mask
+            tables.append(table)
+        self.tables = tables
+
+    def __call__(self, value: int) -> int:
+        if value < 0 or value >> self.input_bits:
+            raise ValueError(
+                f"0x{value:x} is outside the map's {self.input_bits}-bit input space"
+            )
+        result = 0
+        index = 0
+        tables = self.tables
+        while value:
+            result ^= tables[index][value & 0xFF]
+            value >>= 8
+            index += 1
+        return result
 
 
 class GF2mField:
@@ -64,6 +119,7 @@ class GF2mField:
         self._modulus = modulus
         self._m = m
         self._irreducible = is_irreducible(modulus) if not check_irreducible else True
+        self._square_map: Optional[GF2LinearMap] = None
 
     # ------------------------------------------------------------------ meta
     @property
@@ -148,24 +204,161 @@ class GF2mField:
 
         return engine_for(method, self._modulus).multiply_batch(a_values, b_values)
 
+    # --------------------------------------------------- linear-map fast paths
+    def _reduce_partial(self, value: int) -> int:
+        """Reduce a value a few bits wider than ``m`` (used by mask builders)."""
+        m = self._m
+        modulus = self._modulus
+        while True:
+            excess = value.bit_length() - 1 - m
+            if excess < 0:
+                return value
+            value ^= modulus << excess
+
+    def _basis_images(self, seed: int, shift: int) -> List[int]:
+        """Images ``seed * y^(shift*i) mod f`` of the basis vectors ``y^i``."""
+        masks = []
+        current = seed
+        for _ in range(self._m):
+            masks.append(current)
+            current = self._reduce_partial(current << shift)
+        return masks
+
+    def linear_map(self, masks: Sequence[int]) -> GF2LinearMap:
+        """Compile the GF(2)-linear map sending ``y^i`` to ``masks[i]``."""
+        if len(masks) != self._m:
+            raise ValueError(f"expected {self._m} basis images, got {len(masks)}")
+        return GF2LinearMap([self._check(mask) for mask in masks])
+
+    def constant_multiplier(self, c: int) -> Callable[[int], int]:
+        """A fast callable computing ``c * v`` for the fixed element ``c``.
+
+        Multiplication by a constant is GF(2)-linear, so it compiles to the
+        same per-byte tables as :meth:`square`.  Worth it whenever the same
+        constant multiplies many operands (the base-point ``x`` and the
+        curve ``b`` inside a Montgomery ladder, for instance); for one-off
+        products plain :meth:`multiply` is cheaper than building the map.
+        """
+        return GF2LinearMap(self._basis_images(self._check(c), 1))
+
     def square(self, a: int) -> int:
-        """Field squaring (a linear map over GF(2))."""
-        return self.multiply(a, a)
+        """Field squaring via a precomputed sparse linear map.
+
+        Squaring is linear over GF(2): ``(sum a_i y^i)^2 = sum a_i y^(2i)``,
+        so the map ``y^i -> y^(2i) mod f`` is fixed per field and is
+        compiled to byte tables on first use.  Costs ``ceil(m/8)`` lookups
+        instead of the carry-less product + reduction a generic
+        :meth:`multiply` pays; the agreement with ``multiply(a, a)`` is
+        pinned down by the property tests.
+        """
+        square_map = self._square_map
+        if square_map is None:
+            square_map = self.linear_map(self._basis_images(1, 2))
+            self._square_map = square_map
+        return square_map(self._check(a))
+
+    def sqrt(self, a: int) -> int:
+        """The unique square root ``a^(2^(m-1))`` (Frobenius is bijective)."""
+        self._check(a)
+        for _ in range(self._m - 1):
+            a = self.square(a)
+        return a
+
+    def half_trace(self, a: int) -> int:
+        """Half-trace ``H(a) = sum a^(4^i)``, defined for odd ``m``.
+
+        For odd extension degrees ``z = H(c)`` solves ``z^2 + z = c``
+        whenever ``Tr(c) = 0`` — the workhorse for finding points on binary
+        elliptic curves (:mod:`repro.curves`).
+        """
+        if self._m % 2 == 0:
+            raise ValueError(f"the half-trace needs an odd extension degree, got m={self._m}")
+        self._check(a)
+        result = a
+        for _ in range((self._m - 1) // 2):
+            result = self.square(self.square(result)) ^ a
+        return result
 
     def power(self, a: int, exponent: int) -> int:
-        """Raise ``a`` to a non-negative integer power."""
+        """Raise ``a`` to any integer power (negative powers invert first)."""
+        self._check(a)
         if exponent < 0:
-            return self.power(self.inverse(a), -exponent)
-        return poly_powmod(self._check(a), exponent, self._modulus) if a else (1 if exponent == 0 else 0)
+            # Inversion raises ZeroDivisionError for 0 and ValueError when the
+            # modulus is reducible, exactly as a direct inverse() call would.
+            a = self.inverse(a)
+            exponent = -exponent
+        if a == 0:
+            return 1 if exponent == 0 else 0
+        return poly_powmod(a, exponent, self._modulus)
 
-    def inverse(self, a: int) -> int:
-        """Multiplicative inverse via Fermat's little theorem (``a^(2^m - 2)``)."""
+    def inverse(self, a: int, method: str = "itoh-tsujii") -> int:
+        """Multiplicative inverse ``a^(2^m - 2)``.
+
+        ``method="itoh-tsujii"`` (default) walks the Itoh-Tsujii addition
+        chain: ``m - 1`` fast squarings and ``O(log m)`` multiplications.
+        ``method="fermat"`` is the seed implementation — a full
+        square-and-multiply power with ``~2m`` generic products — kept as
+        the independent cross-check reference.
+        """
         self._check(a)
         if a == 0:
             raise ZeroDivisionError("0 has no multiplicative inverse")
         if not self._irreducible:
             raise ValueError("inverses are only defined when the modulus is irreducible")
-        return self.power(a, self.order - 2)
+        if method == "fermat":
+            return poly_powmod(a, self.order - 2, self._modulus)
+        if method != "itoh-tsujii":
+            raise ValueError(f"unknown inversion method {method!r}: use 'itoh-tsujii' or 'fermat'")
+        return self._itoh_tsujii(a)
+
+    def _itoh_tsujii(self, a: int) -> int:
+        """Itoh-Tsujii inversion: ``(a^(2^(m-1) - 1))^2`` by addition chain.
+
+        Maintains ``beta = a^(2^k - 1)`` while building ``k`` up to ``m - 1``
+        along the binary expansion of ``m - 1``: doubling ``k`` costs ``k``
+        squarings and one multiplication, absorbing a set bit costs one more
+        squaring and multiplication.
+        """
+        beta = a
+        k = 1
+        square = self.square
+        multiply = self.multiply
+        for bit in bin(self._m - 1)[3:]:
+            shifted = beta
+            for _ in range(k):
+                shifted = square(shifted)
+            beta = multiply(shifted, beta)
+            k <<= 1
+            if bit == "1":
+                beta = multiply(square(beta), a)
+                k += 1
+        return square(beta)
+
+    def inverse_batch(self, values: Sequence[int]) -> List[int]:
+        """Inverses of a whole operand stream for the cost of one inversion.
+
+        Montgomery's simultaneous-inversion trick: form the prefix products,
+        invert only the total, then walk back unwinding one factor at a
+        time — ``3(len - 1)`` multiplications plus a single
+        :meth:`inverse`.  Raises ``ZeroDivisionError`` if any input is zero
+        (identifying the first offending index).
+        """
+        for index, value in enumerate(values):
+            if self._check(value) == 0:
+                raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
+        if not values:
+            return []
+        multiply = self.multiply
+        prefix = [values[0]]
+        for value in values[1:]:
+            prefix.append(multiply(prefix[-1], value))
+        running = self.inverse(prefix[-1])
+        inverses = [0] * len(values)
+        for index in range(len(values) - 1, 0, -1):
+            inverses[index] = multiply(running, prefix[index - 1])
+            running = multiply(running, values[index])
+        inverses[0] = running
+        return inverses
 
     def trace(self, a: int) -> int:
         """Absolute trace Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1)) in GF(2)."""

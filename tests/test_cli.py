@@ -222,3 +222,39 @@ class TestSweepCommand:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+
+class TestCurvesCommand:
+    def test_curves_lists_catalog(self, capsys):
+        assert main(["curves"]) == 0
+        out = capsys.readouterr().out
+        for name in ("T-13", "K-163", "B-163", "K-571", "B-571"):
+            assert name in out
+        assert "unknown" in out          # the B-family has no recorded order
+        assert "163-bit n" in out        # K-163 does
+
+
+class TestEcdhCommand:
+    def test_ecdh_toy_curve_agrees(self, capsys):
+        assert main(["ecdh", "--curve", "T-13", "--batch", "8", "--check", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "all 8 shared secrets agree" in out
+        assert "byte-identical" in out
+        assert "ops/s" in out
+
+    def test_ecdh_case_insensitive_curve(self, capsys):
+        assert main(["ecdh", "--curve", "t-13", "--batch", "2"]) == 0
+        assert "shared secrets agree" in capsys.readouterr().out
+
+    def test_ecdh_with_jobs_sharding(self, capsys):
+        assert main(["ecdh", "--curve", "T-13", "--batch", "6", "--jobs", "2", "--check", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "all 6 shared secrets agree" in out and "byte-identical" in out
+
+    def test_ecdh_rejects_unknown_curve(self):
+        with pytest.raises(SystemExit, match="unknown curve"):
+            main(["ecdh", "--curve", "P-256"])
+
+    def test_ecdh_rejects_bad_batch(self):
+        with pytest.raises(SystemExit, match="--batch"):
+            main(["ecdh", "--curve", "T-13", "--batch", "0"])

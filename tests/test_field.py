@@ -112,6 +112,123 @@ class TestNistField:
             assert field.multiply(value, field.inverse(value)) == 1
 
 
+class TestFastLinearOps:
+    """The upgraded square/inverse paths against the seed implementations."""
+
+    @pytest.mark.parametrize("m,n", [(163, 66), (233, 56)])
+    def test_linear_map_square_agrees_with_multiply(self, m, n):
+        field = GF2mField(type_ii_pentanomial(m, n))
+        rng = random.Random(m)
+        for _ in range(200):
+            value = rng.getrandbits(m)
+            assert field.square(value) == field.multiply(value, value)
+
+    @pytest.mark.parametrize("m,n", [(163, 66), (233, 56)])
+    def test_itoh_tsujii_agrees_with_fermat(self, m, n):
+        field = GF2mField(type_ii_pentanomial(m, n))
+        rng = random.Random(m + 1)
+        for _ in range(8):
+            value = rng.getrandbits(m) | 1
+            inverse = field.inverse(value)
+            assert inverse == field.inverse(value, method="fermat")
+            assert field.multiply(value, inverse) == 1
+
+    def test_small_field_exhaustive_agreement(self, gf28_field):
+        for value in range(256):
+            assert gf28_field.square(value) == gf28_field.multiply(value, value)
+            if value:
+                assert gf28_field.inverse(value) == gf28_field.inverse(value, method="fermat")
+
+    def test_unknown_inverse_method_rejected(self, gf28_field):
+        with pytest.raises(ValueError, match="method"):
+            gf28_field.inverse(1, method="euclid")
+
+    def test_inverse_batch_matches_scalar(self):
+        field = GF2mField(type_ii_pentanomial(163, 66))
+        rng = random.Random(17)
+        values = [rng.getrandbits(163) | 1 for _ in range(33)]
+        assert field.inverse_batch(values) == [field.inverse(value) for value in values]
+
+    def test_inverse_batch_flags_zero_with_index(self, gf28_field):
+        with pytest.raises(ZeroDivisionError, match="index 2"):
+            gf28_field.inverse_batch([1, 2, 0, 3])
+        assert gf28_field.inverse_batch([]) == []
+
+    def test_constant_multiplier_matches_multiply(self, gf28_field):
+        rng = random.Random(18)
+        for _ in range(10):
+            c = rng.randrange(256)
+            mul_c = gf28_field.constant_multiplier(c)
+            for _ in range(20):
+                value = rng.randrange(256)
+                assert mul_c(value) == gf28_field.multiply(c, value)
+
+    def test_sqrt_inverts_square(self):
+        field = GF2mField(type_ii_pentanomial(163, 66))
+        rng = random.Random(19)
+        for _ in range(20):
+            value = rng.getrandbits(163)
+            assert field.sqrt(field.square(value)) == value
+            assert field.square(field.sqrt(value)) == value
+
+    def test_half_trace_solves_quadratic(self):
+        field = GF2mField(type_ii_pentanomial(163, 66))
+        rng = random.Random(20)
+        solved = 0
+        for _ in range(20):
+            c = rng.getrandbits(163)
+            if field.trace(c) == 0:
+                z = field.half_trace(c)
+                assert field.square(z) ^ z == c
+                solved += 1
+        assert solved > 0
+
+    def test_half_trace_needs_odd_degree(self, gf28_field):
+        with pytest.raises(ValueError, match="odd"):
+            gf28_field.half_trace(1)
+
+    def test_linear_map_validates_mask_count(self, gf28_field):
+        with pytest.raises(ValueError, match="basis images"):
+            gf28_field.linear_map([1, 2, 3])
+
+
+class TestPowerEdgeCases:
+    """The flattened power(): explicit zero/negative-exponent semantics."""
+
+    def test_power_zero_exponent(self, gf28_field):
+        assert gf28_field.power(0x57, 0) == 1
+        assert gf28_field.power(1, 0) == 1
+
+    def test_power_zero_to_the_zero_is_one(self, gf28_field):
+        assert gf28_field.power(0, 0) == 1
+
+    def test_power_of_zero_positive_exponent(self, gf28_field):
+        assert gf28_field.power(0, 5) == 0
+
+    def test_negative_exponents_invert_first(self, gf28_field):
+        rng = random.Random(21)
+        for _ in range(20):
+            value = rng.randrange(1, 256)
+            exponent = rng.randrange(1, 30)
+            expected = gf28_field.power(gf28_field.inverse(value), exponent)
+            assert gf28_field.power(value, -exponent) == expected
+
+    def test_negative_exponent_of_zero_raises(self, gf28_field):
+        with pytest.raises(ZeroDivisionError):
+            gf28_field.power(0, -1)
+
+    def test_negative_exponent_in_non_field_raises(self):
+        ring = GF2mField(0b101, check_irreducible=False)  # (y+1)^2, reducible
+        with pytest.raises(ValueError):
+            ring.power(0b10, -1)
+
+    def test_negative_exponent_consistency(self, gf28_field):
+        # a^(-k) * a^k == 1 for invertible a.
+        for value in (1, 2, 0x57, 0xFF):
+            product = gf28_field.multiply(gf28_field.power(value, -7), gf28_field.power(value, 7))
+            assert product == 1
+
+
 class TestFieldElement:
     def test_operator_syntax(self, gf28_field):
         a = gf28_field(0x57)

@@ -21,6 +21,11 @@ nonzero_polynomials = st.integers(min_value=1, max_value=(1 << 48) - 1)
 
 GF28 = GF2mField(type_ii_pentanomial(8, 2))
 GF2_16 = GF2mField(type_ii_pentanomial(16, 3))
+GF2_163 = GF2mField(type_ii_pentanomial(163, 66))
+GF2_233 = GF2mField(type_ii_pentanomial(233, 56))
+
+elements_163 = st.integers(min_value=0, max_value=(1 << 163) - 1)
+elements_233 = st.integers(min_value=0, max_value=(1 << 233) - 1)
 
 
 class TestPolynomialProperties:
@@ -74,6 +79,45 @@ class TestFieldProperties:
     def test_squaring_is_frobenius_linear_gf2_16(self, a):
         b = 0x1234 ^ a
         assert GF2_16.square(a ^ b) == GF2_16.square(a) ^ GF2_16.square(b)
+
+
+class TestFastFieldOpProperties:
+    """The linear-map square and Itoh-Tsujii inverse vs the seed paths.
+
+    These are the upgrades underneath :mod:`repro.curves`: squaring must
+    equal the seed ``multiply(a, a)`` and inversion the Fermat power, on
+    the NIST-degree pentanomial fields the curve catalog actually uses.
+    """
+
+    @given(elements_163)
+    @settings(max_examples=60)
+    def test_square_matches_multiply_gf2_163(self, a):
+        assert GF2_163.square(a) == GF2_163.multiply(a, a)
+
+    @given(elements_233)
+    @settings(max_examples=60)
+    def test_square_matches_multiply_gf2_233(self, a):
+        assert GF2_233.square(a) == GF2_233.multiply(a, a)
+
+    @given(st.integers(min_value=1, max_value=(1 << 163) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_itoh_tsujii_matches_fermat_gf2_163(self, a):
+        assert GF2_163.inverse(a) == GF2_163.inverse(a, method="fermat")
+
+    @given(st.integers(min_value=1, max_value=(1 << 233) - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_itoh_tsujii_matches_fermat_gf2_233(self, a):
+        assert GF2_233.inverse(a) == GF2_233.inverse(a, method="fermat")
+
+    @given(elements_163, elements_163)
+    @settings(max_examples=40)
+    def test_square_is_linear_gf2_163(self, a, b):
+        assert GF2_163.square(a ^ b) == GF2_163.square(a) ^ GF2_163.square(b)
+
+    @given(st.integers(min_value=1, max_value=(1 << 163) - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse_really_inverts_gf2_163(self, a):
+        assert GF2_163.multiply(a, GF2_163.inverse(a)) == 1
 
 
 class TestSpecProperties:

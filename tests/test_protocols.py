@@ -1,0 +1,160 @@
+"""Tests for ECDH / ECDSA-style protocol workloads (`repro.curves.protocols`)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.curves import (
+    curve_by_name,
+    ecdh_batch,
+    ecdh_shared,
+    ecdsa_sign,
+    ecdsa_verify,
+    generate_keypair,
+    keygen_batch,
+)
+from repro.curves.protocols import Signature
+
+
+@pytest.fixture(scope="module")
+def toy():
+    return curve_by_name("T-13")
+
+
+@pytest.fixture(scope="module")
+def k163():
+    return curve_by_name("K-163")
+
+
+class TestKeygen:
+    def test_keypair_public_matches_private(self, toy):
+        pair = generate_keypair(toy, random.Random(1))
+        assert 1 <= pair.private < toy.order
+        assert pair.public == toy.multiply_reference(toy.generator, pair.private)
+
+    def test_keygen_batch_deterministic_by_seed(self, toy):
+        assert keygen_batch(toy, 5, seed=42) == keygen_batch(toy, 5, seed=42)
+        assert keygen_batch(toy, 5, seed=42) != keygen_batch(toy, 5, seed=43)
+
+    def test_keygen_batch_matches_scalar_path(self, toy):
+        batched = keygen_batch(toy, 12, seed=7)
+        scalar = keygen_batch(toy, 12, seed=7, batched=False)
+        assert batched == scalar
+
+    def test_keygen_rejects_negative_count(self, toy):
+        with pytest.raises(ValueError):
+            keygen_batch(toy, -1)
+
+
+class TestEcdh:
+    def test_known_answer_t13(self, toy):
+        """Pinned regression vector: seeds 101/202 on the toy curve."""
+        alice = keygen_batch(toy, 2, seed=101)
+        bob = keygen_batch(toy, 2, seed=202)
+        assert [pair.private for pair in alice] == [1191, 1735]
+        assert [pair.private for pair in bob] == [1565, 790]
+        shared = [
+            ecdh_shared(toy, a.private, b.public) for a, b in zip(alice, bob)
+        ]
+        assert [(point.x, point.y) for point in shared] == [(0x1836, 0x18A6), (0x1D36, 0x130F)]
+
+    def test_known_answer_k163(self, k163):
+        """Pinned regression vector on the NIST-degree Koblitz curve."""
+        alice = generate_keypair(k163, random.Random(163))
+        bob = generate_keypair(k163, random.Random(233))
+        shared = ecdh_shared(k163, alice.private, bob.public)
+        assert shared.x == 0x1A4939A008B32D2A8FF5E1004D58E3E519D6A77DA
+        assert shared.y == 0x36A0DEA12E4511598DEE9D4345E12E36E8D0E6224
+
+    def test_agreement_both_directions(self, toy):
+        alice = keygen_batch(toy, 8, seed=1)
+        bob = keygen_batch(toy, 8, seed=2)
+        left = ecdh_batch(toy, [kp.private for kp in alice], [kp.public for kp in bob])
+        right = ecdh_batch(toy, [kp.private for kp in bob], [kp.public for kp in alice])
+        assert left == right
+
+    def test_batched_byte_identical_to_scalar_reference(self, toy):
+        alice = keygen_batch(toy, 16, seed=3)
+        bob = keygen_batch(toy, 16, seed=4)
+        privates = [kp.private for kp in alice]
+        peers = [kp.public for kp in bob]
+        assert ecdh_batch(toy, privates, peers) == ecdh_batch(toy, privates, peers, batched=False)
+
+    def test_rejects_off_curve_peer(self, toy):
+        with pytest.raises(ValueError, match="peer"):
+            ecdh_shared(toy, 5, toy.point(2, 0, check=False))
+
+    def test_rejects_infinity_peer(self, toy):
+        with pytest.raises(ValueError, match="peer"):
+            ecdh_shared(toy, 5, toy.infinity())
+
+    def test_rejects_size_mismatch(self, toy):
+        with pytest.raises(ValueError, match="mismatch"):
+            ecdh_batch(toy, [1, 2], [toy.generator])
+
+    def test_works_on_unknown_order_curve(self):
+        b163 = curve_by_name("B-163")
+        alice = keygen_batch(b163, 2, seed=5)
+        bob = keygen_batch(b163, 2, seed=6)
+        left = ecdh_batch(b163, [kp.private for kp in alice], [kp.public for kp in bob])
+        right = ecdh_batch(b163, [kp.private for kp in bob], [kp.public for kp in alice])
+        assert left == right
+
+
+class TestEcdsa:
+    def test_sign_verify_roundtrip(self, toy):
+        pair = generate_keypair(toy, random.Random(5))
+        for digest in (0, 1, 123456789, 1 << 200):
+            signature = ecdsa_sign(toy, pair.private, digest)
+            assert ecdsa_verify(toy, pair.public, digest, signature)
+
+    def test_deterministic_signatures(self, toy):
+        pair = generate_keypair(toy, random.Random(6))
+        assert ecdsa_sign(toy, pair.private, 99) == ecdsa_sign(toy, pair.private, 99)
+
+    def test_tampered_digest_rejected(self, toy):
+        pair = generate_keypair(toy, random.Random(7))
+        signature = ecdsa_sign(toy, pair.private, 1000)
+        assert not ecdsa_verify(toy, pair.public, 1001, signature)
+
+    def test_tampered_signature_rejected(self, toy):
+        pair = generate_keypair(toy, random.Random(8))
+        signature = ecdsa_sign(toy, pair.private, 1000)
+        bad = Signature(signature.r, signature.s ^ 1)
+        assert not ecdsa_verify(toy, pair.public, 1000, bad)
+
+    def test_wrong_key_rejected(self, toy):
+        pair = generate_keypair(toy, random.Random(9))
+        other = generate_keypair(toy, random.Random(10))
+        signature = ecdsa_sign(toy, pair.private, 1000)
+        assert not ecdsa_verify(toy, other.public, 1000, signature)
+
+    def test_out_of_range_signature_rejected(self, toy):
+        pair = generate_keypair(toy, random.Random(11))
+        assert not ecdsa_verify(toy, pair.public, 1, Signature(0, 1))
+        assert not ecdsa_verify(toy, pair.public, 1, Signature(1, toy.order))
+
+    def test_explicit_nonce_reproduces(self, toy):
+        pair = generate_keypair(toy, random.Random(12))
+        assert ecdsa_sign(toy, pair.private, 5, nonce=77) == ecdsa_sign(toy, pair.private, 5, nonce=77)
+
+    def test_invalid_nonce_rejected(self, toy):
+        pair = generate_keypair(toy, random.Random(13))
+        with pytest.raises(ValueError, match="nonce"):
+            ecdsa_sign(toy, pair.private, 5, nonce=0)
+
+    def test_unknown_order_curve_raises_clear_error(self):
+        b163 = curve_by_name("B-163")
+        with pytest.raises(ValueError, match="known subgroup order"):
+            ecdsa_sign(b163, 12345, 1)
+        with pytest.raises(ValueError, match="known subgroup order"):
+            ecdsa_verify(b163, b163.generator, 1, Signature(1, 1))
+
+    def test_k163_roundtrip(self, k163):
+        pair = generate_keypair(k163, random.Random(14))
+        digest = 0x1234567890ABCDEF
+        signature = ecdsa_sign(k163, pair.private, digest)
+        assert ecdsa_verify(k163, pair.public, digest, signature)
+        assert not ecdsa_verify(k163, pair.public, digest + 1, signature)
