@@ -16,6 +16,10 @@ J. L. Imaña builds or depends on:
   (:mod:`repro.synth`);
 * VHDL/Verilog emission (:mod:`repro.hdl`) and the Table V comparison
   harness (:mod:`repro.analysis`);
+* pluggable execution backends for batch field arithmetic — the scalar
+  reference, the compiled circuit engine and numpy bitslicing behind one
+  interface, selectable per call, per field, per CLI flag or via
+  ``$GF2M_REPRO_BACKEND`` (:mod:`repro.backends`);
 * the parallel sweep pipeline — staged job graph, process-pool scheduler
   and persistent content-addressed artifact store (:mod:`repro.pipeline`);
 * binary elliptic curves over the paper's pentanomial fields — NIST-degree
@@ -43,6 +47,17 @@ from .analysis import (
     render_table3,
     render_table4,
     run_comparison,
+)
+from .backends import (
+    BitsliceBackend,
+    EngineBackend,
+    FieldBackend,
+    PythonIntBackend,
+    assert_backend_parity,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
 )
 from .curves import (
     CURVES,
@@ -124,6 +139,15 @@ from .synth import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BitsliceBackend",
+    "EngineBackend",
+    "FieldBackend",
+    "PythonIntBackend",
+    "assert_backend_parity",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "PAPER_TABLE5",
     "claims_report",
     "compare_to_paper",

@@ -1,0 +1,197 @@
+"""Backend registry: name → factory, per-field defaults, env override.
+
+Resolution order for a default backend:
+
+1. the ``GF2M_REPRO_BACKEND`` environment variable, when set (must name a
+   registered backend — typos fail loudly rather than silently falling
+   back);
+2. per-field resolution: fields of degree < 2 carry no bit-parallel
+   multiplier circuit, so they default to the scalar ``python`` backend;
+3. the compiled ``engine`` backend for everything else.
+
+Backend instances are cached per ``(name, modulus, options)`` in a
+process-wide LRU, so resolving a backend on a hot path costs a dictionary
+hit; the expensive state behind it (generated circuits, compiled
+evaluators) is additionally shared through the engine/multiplier caches.
+
+:func:`assert_backend_parity` is the uniform cross-check harness: every
+backend must reproduce the scalar reference (``GF2mField.multiply`` /
+``square`` / ``inverse``) byte for byte on randomized vectors plus corner
+cases.  The CLI (``repro bench --backend X --check``), the benchmark suite
+and CI all assert parity through this one function.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
+
+from ..pipeline.store import LRUCache
+from .base import FieldBackend
+from .bitslice import BitsliceBackend
+from .engine_backend import EngineBackend
+from .python_int import PythonIntBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..galois.field import GF2mField
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "register_backend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
+    "assert_backend_parity",
+]
+
+#: Environment variable overriding the default backend for the process.
+BACKEND_ENV_VAR = "GF2M_REPRO_BACKEND"
+
+#: Registered factories, keyed by backend name (registration order kept).
+_FACTORIES: Dict[str, Callable[..., FieldBackend]] = {}
+
+#: Resolved backend instances keyed by (name, modulus, sorted options).
+_INSTANCES = LRUCache(maxsize=32)
+
+
+def register_backend(name: str, factory: Callable[..., FieldBackend]) -> None:
+    """Register a backend factory under ``name`` (``factory(field, **options)``).
+
+    Re-registering a name replaces the factory — deliberate, so tests and
+    extensions can shadow a builtin — but cached instances of the old
+    factory are dropped with it.
+    """
+    _FACTORIES[name] = factory
+    _INSTANCES.clear()
+
+
+register_backend(PythonIntBackend.name, PythonIntBackend)
+register_backend(EngineBackend.name, EngineBackend)
+register_backend(BitsliceBackend.name, BitsliceBackend)
+
+
+def available_backends() -> List[str]:
+    """All registered backend names, registration order."""
+    return list(_FACTORIES)
+
+
+def default_backend_name(field: Optional["GF2mField"] = None) -> str:
+    """The backend used when a caller does not choose one explicitly."""
+    override = os.environ.get(BACKEND_ENV_VAR)
+    if override:
+        if override not in _FACTORIES:
+            raise KeyError(
+                f"${BACKEND_ENV_VAR}={override!r} names no registered backend; "
+                f"available: {', '.join(_FACTORIES)}"
+            )
+        return override
+    if field is not None and field.m < 2:
+        # Bit-parallel multipliers need degree >= 2; only the scalar path works.
+        return PythonIntBackend.name
+    return EngineBackend.name
+
+
+def get_backend(name: Optional[str], field: "GF2mField", **options) -> FieldBackend:
+    """The cached backend instance for ``(name, field, options)``.
+
+    ``name=None`` resolves through :func:`default_backend_name`.  Instances
+    are shared between fields with equal moduli (fields compare equal by
+    modulus, so this is observationally safe).
+    """
+    if name is None:
+        name = default_backend_name(field)
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(f"unknown backend {name!r}; available: {', '.join(_FACTORIES)}")
+    key = (name, field.modulus, tuple(sorted(options.items())))
+    return _INSTANCES.get_or_create(key, lambda: factory(field, **options))
+
+
+def resolve_backend(
+    field: "GF2mField",
+    backend: Union[FieldBackend, str, None] = None,
+    method: Optional[str] = None,
+) -> FieldBackend:
+    """Resolve a caller-supplied backend spec into an instance for ``field``.
+
+    ``backend`` may be an instance (must belong to an equal field), a
+    registered name, or ``None`` for the default.  ``method`` selects the
+    multiplier construction of circuit-backed backends; passing it without
+    a backend picks the engine, preserving the historical meaning of
+    ``GF2mField.multiply_batch(..., method=...)``.  Combining ``method``
+    with a backend *instance* is only accepted when the instance already
+    uses that construction — an instance fixes its circuit at creation, so
+    silently ignoring a different ``method`` would run the wrong one.
+    """
+    if isinstance(backend, FieldBackend):
+        if backend.field != field:
+            raise ValueError(
+                f"backend {backend.name!r} is bound to {backend.field!r}, not {field!r}"
+            )
+        if method is not None and getattr(backend, "method", None) != method:
+            raise ValueError(
+                f"backend instance {backend.name!r} already fixes its construction "
+                f"({getattr(backend, 'method', None)!r}); cannot re-select method={method!r} — "
+                "resolve a backend by name instead"
+            )
+        return backend
+    if backend is None and method is not None:
+        backend = EngineBackend.name
+    options = {} if method is None else {"method": method}
+    return get_backend(backend, field, **options)
+
+
+def assert_backend_parity(
+    field: "GF2mField",
+    backend: Union[FieldBackend, str],
+    pairs: int = 256,
+    seed: int = 2018,
+) -> int:
+    """Cross-check a backend against the scalar reference; returns #vectors.
+
+    Randomized operand pairs plus structured corners go through the
+    backend's ``multiply_batch``, ``square_batch`` and (on irreducible
+    moduli) ``inverse_batch``; every result must equal the reference
+    scalar arithmetic byte for byte.  Raises ``AssertionError`` naming the
+    first mismatching vector.
+    """
+    resolved = resolve_backend(field, backend)
+    m = field.m
+    rng = random.Random(seed)
+    top = (1 << m) - 1
+    a_values = [0, 1, top, 1 << (m - 1)]
+    b_values = [0, top, top, 1 << (m - 1)]
+    for _ in range(pairs):
+        a_values.append(rng.getrandbits(m))
+        b_values.append(rng.getrandbits(m))
+    products = resolved.multiply_batch(a_values, b_values)
+    for index, (a, b, product) in enumerate(zip(a_values, b_values, products)):
+        expected = field.multiply(a, b)
+        if product != expected:
+            raise AssertionError(
+                f"{resolved.name} backend mismatch on GF(2^{m}) vector {index}: "
+                f"0x{a:x} * 0x{b:x} -> 0x{product:x}, reference 0x{expected:x}"
+            )
+    squares = resolved.square_batch(a_values)
+    for index, (a, square) in enumerate(zip(a_values, squares)):
+        expected = field.square(a)
+        if square != expected:
+            raise AssertionError(
+                f"{resolved.name} backend square mismatch on GF(2^{m}) vector {index}: "
+                f"0x{a:x}^2 -> 0x{square:x}, reference 0x{expected:x}"
+            )
+    checked = 2 * len(a_values)
+    if field.is_field:
+        nonzero = [value or 1 for value in a_values]
+        inverses = resolved.inverse_batch(nonzero)
+        for index, (value, inverse) in enumerate(zip(nonzero, inverses)):
+            expected = field.inverse(value)
+            if inverse != expected:
+                raise AssertionError(
+                    f"{resolved.name} backend inverse mismatch on GF(2^{m}) vector {index}: "
+                    f"0x{value:x}^-1 -> 0x{inverse:x}, reference 0x{expected:x}"
+                )
+        checked += len(nonzero)
+    return checked

@@ -9,17 +9,23 @@ Subcommands
 ``compare``     regenerate (part of) the paper's Table V
 ``emit``        write VHDL/Verilog (and optionally a testbench) to a file
 ``fields``      list the paper's field catalog
-``batch``       multiply operand streams through the compiled batch engine
-``bench``       measure interpreted vs compiled multiplication throughput
+``batch``       multiply operand streams through a batch backend
+``bench``       measure backend vs scalar-reference throughput (or, without
+                ``--backend``, interpreted vs compiled)
 ``sweep``       run a field x method x device x effort grid through the
                 parallel pipeline with the persistent artifact store
 ``curves``      list the elliptic-curve catalog (NIST-degree K/B curves)
 ``ecdh``        run the batched ECDH workload on one curve and report ops/s
+
+``batch``, ``bench``, ``ecdh`` and ``sweep`` accept ``--backend``
+(``python`` | ``engine`` | ``bitslice``, see :mod:`repro.backends`); the
+``GF2M_REPRO_BACKEND`` environment variable sets the process default.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 import time
@@ -27,6 +33,7 @@ from typing import List, Optional
 
 from .analysis.compare import claims_report, comparison_table, compare_to_paper, run_comparison
 from .analysis.tables import render_table1, render_table2, render_table3, render_table4
+from .backends import BACKEND_ENV_VAR, available_backends, default_backend_name, get_backend
 from .curves import CURVES, curve_by_name, ecdh_batch, keygen_batch
 from .engine import default_multiplier_cache, engine_for
 from .galois.field import GF2mField
@@ -115,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--efforts", default="2", help="comma separated mapping efforts (default 2)")
     sweep.add_argument("--format", choices=["table", "json", "csv"], default="table")
     sweep.add_argument("--stats", action="store_true", help="also print per-run scheduler/cache statistics")
+    sweep.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend the jobs run (and are cached) under; part of the artifact cache key",
+    )
     add_cache_arguments(sweep)
 
     emit = subparsers.add_parser("emit", help="emit HDL for one multiplier")
@@ -124,20 +137,47 @@ def build_parser() -> argparse.ArgumentParser:
     emit.add_argument("--testbench", action="store_true", help="also emit a VHDL testbench")
     emit.add_argument("--output", default="-", help="output file (default stdout)")
 
-    batch = subparsers.add_parser("batch", help="multiply operand streams through the batch engine")
+    def add_backend_argument(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--backend",
+            default=None,
+            choices=available_backends(),
+            help="execution backend (default: $GF2M_REPRO_BACKEND or per-field resolution)",
+        )
+
+    batch = subparsers.add_parser("batch", help="multiply operand streams through a batch backend")
     add_field_arguments(batch)
-    batch.add_argument("--method", default="thiswork", help="construction name (default thiswork)")
+    batch.add_argument(
+        "--method",
+        default=None,
+        help="circuit construction for circuit backends (default thiswork for type II fields)",
+    )
+    add_backend_argument(batch)
     batch.add_argument("--count", type=int, default=1000, help="number of random operand pairs (default 1000)")
     batch.add_argument("--seed", type=int, default=2018, help="seed for the random operand stream")
     batch.add_argument("--input", help="file with one 'hexA hexB' pair per line instead of random operands")
-    batch.add_argument("--chunk-size", type=int, default=4096, help="pairs per compiled evaluation (default 4096)")
+    batch.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="pairs per evaluation of a circuit backend (default: the backend's)",
+    )
     batch.add_argument("--check", action="store_true", help="verify every product against the reference field")
     batch.add_argument("--stats", action="store_true", help="print throughput and cache statistics")
     batch.add_argument("--output", default="-", help="output file for hex products (default stdout)")
 
-    bench = subparsers.add_parser("bench", help="interpreted vs compiled throughput of one field")
+    bench = subparsers.add_parser(
+        "bench", help="throughput of one field: backend vs scalar reference (or interpreted vs compiled)"
+    )
     add_field_arguments(bench)
-    bench.add_argument("--method", default="thiswork")
+    bench.add_argument(
+        "--method",
+        default=None,
+        help="circuit construction (default thiswork for type II fields)",
+    )
+    add_backend_argument(bench)
+    bench.add_argument(
+        "--check", action="store_true",
+        help="with --backend: cross-check every product against the scalar reference",
+    )
     bench.add_argument("--pairs", type=int, default=2048, help="operand pairs per measurement (default 2048)")
     bench.add_argument("--quick", action="store_true", help="small fast run for CI smoke tests")
 
@@ -145,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ecdh = subparsers.add_parser("ecdh", help="batched ECDH key agreement workload on one curve")
     ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
+    add_backend_argument(ecdh)
     ecdh.add_argument("--batch", type=int, default=64, help="independent key agreements per side (default 64)")
     ecdh.add_argument("--jobs", type=int, default=1, help="worker processes sharding the batch (default 1)")
     ecdh.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
@@ -186,6 +227,33 @@ def _read_operand_pairs(path: str, m: int) -> tuple:
     return a_values, b_values
 
 
+def _resolve_cli_backend(field: GF2mField, name, method=None, chunk_size=None, verify=True):
+    """Resolve a ``--backend``/``--method`` pair, exiting cleanly on errors.
+
+    ``name=None`` resolves through the registry default, so the
+    ``$GF2M_REPRO_BACKEND`` override applies to every subcommand.
+    Registry failures (unknown names, a bad env override), contradictory
+    options (``--method`` with the scalar backend) and a missing numpy for
+    ``bitslice`` all surface as actionable messages instead of tracebacks.
+    ``verify=False`` skips formal circuit verification (the large-field
+    fast path of ``repro batch``/``bench``).
+    """
+    try:
+        if name is None:
+            name = default_backend_name(field)
+        options = {}
+        if method is not None:
+            options["method"] = method
+        if name in ("engine", "bitslice"):
+            if chunk_size is not None:
+                options["chunk_size"] = chunk_size
+            if not verify:
+                options["verify"] = False
+        return get_backend(name, field, **options)
+    except (KeyError, ValueError, ImportError) as error:
+        raise SystemExit(str(error.args[0]) if error.args else str(error)) from None
+
+
 def _run_batch(args) -> int:
     modulus = type_ii_pentanomial(args.m, args.n)
     if args.input:
@@ -194,12 +262,15 @@ def _run_batch(args) -> int:
         rng = random.Random(args.seed)
         a_values = [rng.getrandbits(args.m) for _ in range(args.count)]
         b_values = [rng.getrandbits(args.m) for _ in range(args.count)]
-    engine = engine_for(args.method, modulus, verify=args.m <= 16)
+    field = GF2mField(modulus, check_irreducible=False)
+    backend = _resolve_cli_backend(
+        field, args.backend, method=args.method, chunk_size=args.chunk_size, verify=args.m <= 16
+    )
+    backend.multiply_batch(a_values[:1], b_values[:1])  # pay one-time costs up front
     start = time.perf_counter()
-    products = engine.multiply_batch(a_values, b_values, chunk_size=args.chunk_size)
+    products = backend.multiply_batch(a_values, b_values)
     elapsed = time.perf_counter() - start
     if args.check:
-        field = GF2mField(modulus, check_irreducible=False)
         for a, b, product in zip(a_values, b_values, products):
             if product != field.multiply(a, b):
                 raise SystemExit(f"MISMATCH: {a:x} * {b:x} -> {product:x} != reference")
@@ -216,25 +287,72 @@ def _run_batch(args) -> int:
         print(f"checked {len(products)} products against the reference field: all match")
     if args.stats:
         rate = len(products) / elapsed if elapsed > 0 else float("inf")
-        print(engine.describe())
+        print(backend.describe())
         print(f"{len(products)} products in {elapsed * 1000:.1f} ms ({rate:,.0f} products/s)")
         print(f"multiplier cache: {default_multiplier_cache().info()}")
     return 0
 
 
-def _run_bench(args) -> int:
+def _run_bench_backend(args) -> int:
+    """``repro bench --backend X``: backend vs scalar reference throughput.
+
+    Always cross-checks a subset against ``GF2mField.multiply``;
+    ``--check`` extends the cross-check to every product (the CI parity
+    smoke step relies on this).
+    """
     modulus = type_ii_pentanomial(args.m, args.n)
+    pairs = min(args.pairs, 512) if args.quick else args.pairs
+    rng = random.Random(2018)
+    a_values = [rng.getrandbits(args.m) for _ in range(pairs)]
+    b_values = [rng.getrandbits(args.m) for _ in range(pairs)]
+    field = GF2mField(modulus, check_irreducible=False)
+    backend = _resolve_cli_backend(field, args.backend, method=args.method, verify=args.m <= 16)
+
+    backend.multiply_batch(a_values[:1], b_values[:1])  # pay one-time costs up front
+    start = time.perf_counter()
+    products = backend.multiply_batch(a_values, b_values)
+    backend_s = time.perf_counter() - start
+
+    scalar_pairs = pairs if args.check else min(pairs, 256)
+    start = time.perf_counter()
+    reference = [field.multiply(a, b) for a, b in zip(a_values[:scalar_pairs], b_values[:scalar_pairs])]
+    scalar_s = time.perf_counter() - start
+
+    if products[:scalar_pairs] != reference:
+        raise SystemExit(
+            f"MISMATCH: backend {backend.name!r} disagrees with the scalar reference "
+            "— refusing to report throughput"
+        )
+    backend_rate = pairs / backend_s if backend_s > 0 else float("inf")
+    scalar_rate = scalar_pairs / scalar_s if scalar_s > 0 else float("inf")
+    print(backend.describe())
+    print(f"GF(2^{args.m}) {backend.name}: {pairs} pairs")
+    print(f"  scalar ref   {scalar_rate:>12,.0f} products/s")
+    print(f"  {backend.name:<12s} {backend_rate:>12,.0f} products/s")
+    print(f"  speedup      {backend_rate / scalar_rate:>12.1f}x")
+    if args.check:
+        print(f"checked {pairs} products against the scalar reference: all match")
+    return 0
+
+
+def _run_bench(args) -> int:
+    if args.backend or os.environ.get(BACKEND_ENV_VAR):
+        # An explicit flag or the process-wide env default selects the
+        # backend-vs-scalar comparison (a bad env value fails loudly there).
+        return _run_bench_backend(args)
+    modulus = type_ii_pentanomial(args.m, args.n)
+    method = args.method or "thiswork"
     pairs = min(args.pairs, 256) if args.quick else args.pairs
     rng = random.Random(2018)
     a_values = [rng.getrandbits(args.m) for _ in range(pairs)]
     b_values = [rng.getrandbits(args.m) for _ in range(pairs)]
-    multiplier = generate_multiplier(args.method, modulus, verify=args.m <= 16)
+    multiplier = generate_multiplier(method, modulus, verify=args.m <= 16)
 
     start = time.perf_counter()
     interpreted = simulate_words(multiplier.netlist, args.m, a_values, b_values)
     interpreted_s = time.perf_counter() - start
 
-    engine = engine_for(args.method, modulus, verify=False)
+    engine = engine_for(method, modulus, verify=False)
     engine.multiply_batch(a_values[:1], b_values[:1])  # warm the compiled path
     start = time.perf_counter()
     compiled = engine.multiply_batch(a_values, b_values)
@@ -242,7 +360,7 @@ def _run_bench(args) -> int:
 
     if compiled != interpreted:
         raise SystemExit("engine and interpreter disagree — refusing to report throughput")
-    print(f"GF(2^{args.m}) {args.method}: {pairs} pairs")
+    print(f"GF(2^{args.m}) {method}: {pairs} pairs")
     print(f"  interpreted  {pairs / interpreted_s:>12,.0f} products/s")
     print(f"  compiled     {pairs / compiled_s:>12,.0f} products/s")
     print(f"  speedup      {interpreted_s / compiled_s:>12.1f}x")
@@ -252,32 +370,34 @@ def _run_bench(args) -> int:
 def _ecdh_shard(payload) -> List[tuple]:
     """Worker for ``repro ecdh --jobs``: one shard of the agreement batch.
 
-    Takes plain picklable data (curve name, scalars, peer coordinates) and
-    returns coordinate tuples so shards compose deterministically.  Under
-    the ``fork`` start method the child inherits the parent's warm engine
-    and curve caches, so no per-worker recompilation happens.
+    Takes plain picklable data (curve name, backend name, scalars, peer
+    coordinates) and returns coordinate tuples so shards compose
+    deterministically.  Under the ``fork`` start method the child inherits
+    the parent's warm engine/backend and curve caches, so no per-worker
+    recompilation happens.
     """
-    curve_name, privates, peer_coords = payload
+    curve_name, backend, privates, peer_coords = payload
     curve = curve_by_name(curve_name)
     peers = [curve.point(x, y, check=False) for x, y in peer_coords]
-    return [(point.x, point.y) for point in ecdh_batch(curve, privates, peers)]
+    return [(point.x, point.y) for point in ecdh_batch(curve, privates, peers, backend=backend)]
 
 
-def _ecdh_agreements(curve, privates, peers, jobs: int) -> List:
+def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None) -> List:
     """The batch of shared points, optionally sharded over worker processes."""
     if jobs <= 1 or len(privates) < 2:
-        return ecdh_batch(curve, privates, peers)
+        return ecdh_batch(curve, privates, peers, backend=backend)
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
     if "fork" not in multiprocessing.get_all_start_methods():
         print("note: no fork start method on this platform; running --jobs 1", file=sys.stderr)
-        return ecdh_batch(curve, privates, peers)
+        return ecdh_batch(curve, privates, peers, backend=backend)
     jobs = min(jobs, len(privates))
     chunk = (len(privates) + jobs - 1) // jobs
     payloads = [
         (
             curve.name,
+            backend,
             list(privates[start:start + chunk]),
             [(point.x, point.y) for point in peers[start:start + chunk]],
         )
@@ -298,18 +418,24 @@ def _run_ecdh(args) -> int:
         raise SystemExit("--batch must be at least 1")
     if args.check < 0:
         raise SystemExit("--check must be non-negative")
+    # Resolve eagerly so a bad backend (or missing numpy) fails before work.
+    _resolve_cli_backend(curve.field, args.backend)
     print(curve.describe())
 
     start = time.perf_counter()
-    alice = keygen_batch(curve, args.batch, seed=args.seed)
-    bob = keygen_batch(curve, args.batch, seed=args.seed + 1)
+    alice = keygen_batch(curve, args.batch, seed=args.seed, backend=args.backend)
+    bob = keygen_batch(curve, args.batch, seed=args.seed + 1, backend=args.backend)
     keygen_s = time.perf_counter() - start
 
     alice_privates = [pair.private for pair in alice]
     bob_privates = [pair.private for pair in bob]
     start = time.perf_counter()
-    alice_shared = _ecdh_agreements(curve, alice_privates, [pair.public for pair in bob], args.jobs)
-    bob_shared = _ecdh_agreements(curve, bob_privates, [pair.public for pair in alice], args.jobs)
+    alice_shared = _ecdh_agreements(
+        curve, alice_privates, [pair.public for pair in bob], args.jobs, backend=args.backend
+    )
+    bob_shared = _ecdh_agreements(
+        curve, bob_privates, [pair.public for pair in alice], args.jobs, backend=args.backend
+    )
     agree_s = time.perf_counter() - start
 
     if alice_shared != bob_shared:
@@ -325,7 +451,11 @@ def _run_ecdh(args) -> int:
     ladders = 2 * args.batch  # one per side per agreement
     keygen_rate = 2 * args.batch / keygen_s if keygen_s > 0 else float("inf")
     agree_rate = ladders / agree_s if agree_s > 0 else float("inf")
-    print(f"batch {args.batch}, jobs {args.jobs}: all {args.batch} shared secrets agree")
+    backend_label = args.backend or default_backend_name(curve.field)
+    print(
+        f"batch {args.batch}, jobs {args.jobs}, backend {backend_label}: "
+        f"all {args.batch} shared secrets agree"
+    )
     print(f"  keygen     {2 * args.batch:>6d} ladders in {keygen_s * 1000:>8.1f} ms ({keygen_rate:,.1f} ops/s)")
     print(f"  agreement  {ladders:>6d} ladders in {agree_s * 1000:>8.1f} ms ({agree_rate:,.1f} ops/s)")
     return 0
@@ -403,6 +533,7 @@ def _run_sweep(args) -> int:
             efforts=efforts,
             jobs=args.jobs,
             store=store,
+            backend=args.backend,
         )
     except KeyError as error:
         raise SystemExit(str(error.args[0])) from None

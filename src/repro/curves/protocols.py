@@ -86,12 +86,15 @@ def keygen_batch(
     rng: Optional[random.Random] = None,
     seed: Optional[int] = None,
     batched: bool = True,
+    backend=None,
 ) -> List[KeyPair]:
     """Generate ``count`` key pairs, deriving the public points in one batch.
 
-    ``seed`` (or an explicit ``rng``) makes the draw reproducible.  With
-    ``batched=False`` each public point is computed by the scalar ladder
-    instead — the reference path the batch is checked against.
+    ``seed`` (or an explicit ``rng``) makes the draw reproducible.
+    ``backend`` selects the execution substrate of the batched ladder
+    (:mod:`repro.backends`; results are byte-identical across backends).
+    With ``batched=False`` each public point is computed by the scalar
+    ladder instead — the reference path the batch is checked against.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
@@ -101,7 +104,7 @@ def keygen_batch(
     privates = [rng.randrange(1, bound) for _ in range(count)]
     generator = curve.generator
     if batched:
-        publics = curve.multiply_batch([generator] * count, privates)
+        publics = curve.multiply_batch([generator] * count, privates, backend=backend)
     else:
         publics = [curve.multiply(generator, private) for private in privates]
     return [KeyPair(private, public) for private, public in zip(privates, publics)]
@@ -120,12 +123,14 @@ def ecdh_batch(
     peer_publics: Sequence[Point],
     *,
     batched: bool = True,
+    backend=None,
 ) -> List[Point]:
     """Shared points for many independent ``(private, peer)`` pairs.
 
-    The batched path routes every ladder step through the compiled engine;
-    ``batched=False`` is the scalar reference.  Both return byte-identical
-    points.
+    The batched path routes every ladder step through one execution
+    backend (:mod:`repro.backends`; the compiled engine by default,
+    selectable via ``backend``); ``batched=False`` is the scalar
+    reference.  All paths return byte-identical points.
     """
     if len(privates) != len(peer_publics):
         raise ValueError(
@@ -137,7 +142,7 @@ def ecdh_batch(
         if peer.is_infinity:
             raise ValueError("a peer public key is the point at infinity")
     if batched:
-        return curve.multiply_batch(list(peer_publics), list(privates))
+        return curve.multiply_batch(list(peer_publics), list(privates), backend=backend)
     return [curve.multiply(peer, private) for private, peer in zip(privates, peer_publics)]
 
 

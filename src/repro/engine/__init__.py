@@ -11,11 +11,13 @@ Layers, bottom up:
   operand row words and per-input-bit plane words;
 * :mod:`repro.engine.compiler` — levelization of a netlist into flat
   op/fanin schedules and generated straight-line Python evaluators;
-* :mod:`repro.engine.cache` — thread-safe LRU caching of generated
-  multipliers keyed by ``(method, modulus)``;
 * :mod:`repro.engine.engine` — the :class:`Engine` batch API
   (``multiply_batch``) and the cached :func:`engine_for` /
   :func:`engine_for_netlist` factories.
+
+Multiplier caching lives in :mod:`repro.multipliers.cache` and the generic
+LRU in :mod:`repro.pipeline.store`; both are re-exported here for
+convenience (``repro.engine.cache`` itself is a deprecated shim).
 
 Quick start
 -----------
@@ -26,14 +28,13 @@ Quick start
 [49, 42]
 """
 
-from .bitpack import block_size_for, pack_rows, transpose_square, unpack_planes
-from .cache import (
-    CacheInfo,
-    LRUCache,
+from ..multipliers.cache import (
     MultiplierCache,
     cached_multiplier,
     default_multiplier_cache,
 )
+from ..pipeline.store import CacheInfo, LRUCache
+from .bitpack import block_size_for, pack_rows, transpose_square, unpack_planes
 from .compiler import CompiledNetlist, compile_netlist
 from .engine import Engine, engine_for, engine_for_netlist
 

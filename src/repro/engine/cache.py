@@ -1,33 +1,27 @@
-"""Thread-safe LRU caches for generated multipliers and compiled engines.
+"""Deprecated shim — the caches moved to their domain homes in PR 2/PR 4.
 
-Generating a multiplier re-derives the S_i/T_i splitting of the field and
-formally re-verifies the circuit — ~100 ms for GF(2^163) and growing
-quadratically with m.  Compiling its netlist to a straight-line evaluator
-costs another second.  Every path that repeatedly asks for the same
-``(method, modulus)`` pair (the CLI, the comparison harness, the benchmark
-suite, batch services) therefore goes through the caches in this module
-instead of calling the generators directly.
+* :class:`~repro.pipeline.store.LRUCache` and
+  :class:`~repro.pipeline.store.CacheInfo` live in
+  :mod:`repro.pipeline.store` (the generic caching layer);
+* :class:`~repro.multipliers.cache.MultiplierCache`,
+  :func:`~repro.multipliers.cache.cached_multiplier` and
+  :func:`~repro.multipliers.cache.default_multiplier_cache` live in
+  :mod:`repro.multipliers.cache` (the multiplier-specific policy).
 
-* :class:`~repro.pipeline.store.LRUCache` — the generic thread-safe LRU
-  building block, shared with the sweep pipeline's artifact layer
-  (:mod:`repro.pipeline.store`) and re-exported here for compatibility.
-* :class:`MultiplierCache` — :class:`~repro.multipliers.base.GeneratedMultiplier`
-  objects keyed by ``(method, modulus)``.  Verification state is tracked per
-  entry: a multiplier first generated with ``verify=False`` is verified (at
-  most once) when a caller later requests a verified instance, so identical
-  circuits are never formally verified twice in one process.
-* :func:`cached_multiplier` / :func:`default_multiplier_cache` — the
-  process-wide default instance used by the registry and the CLI.
-
-Cached multipliers are shared objects: callers must treat the netlist as
-immutable (the synthesis flow already does — restructuring builds new
-netlists).
+Importing this module keeps working but emits a :class:`DeprecationWarning`;
+update imports to the new locations.  Nothing inside the library imports
+this module any more.
 """
 
 from __future__ import annotations
 
-import threading
+import warnings
 
+from ..multipliers.cache import (
+    MultiplierCache,
+    cached_multiplier,
+    default_multiplier_cache,
+)
 from ..pipeline.store import CacheInfo, LRUCache
 
 __all__ = [
@@ -38,86 +32,10 @@ __all__ = [
     "default_multiplier_cache",
 ]
 
-
-class _MultiplierEntry:
-    """A cached multiplier plus whether it has been formally verified yet."""
-
-    __slots__ = ("multiplier", "verified")
-
-    def __init__(self, multiplier, verified: bool) -> None:
-        self.multiplier = multiplier
-        self.verified = verified
-
-
-class MultiplierCache:
-    """LRU cache of generated multipliers keyed by ``(method, modulus)``.
-
-    The key deliberately excludes the ``verify`` flag: the circuit is
-    identical either way, so a verified and an unverified request share one
-    entry and verification is upgraded in place at most once.
-    """
-
-    def __init__(self, maxsize: int = 32) -> None:
-        self._cache = LRUCache(maxsize=maxsize)
-        self._lock = threading.RLock()
-
-    def get(self, method: str, modulus: int, verify: bool = True):
-        """The cached (or freshly generated) multiplier for ``(method, modulus)``.
-
-        When ``verify`` is true the returned multiplier is guaranteed to have
-        been formally verified against its product specification — either at
-        generation time or by an on-demand upgrade of a cached unverified
-        entry.
-        """
-        from ..multipliers.registry import get_generator
-
-        def build() -> _MultiplierEntry:
-            multiplier = get_generator(method).generate(modulus, verify=verify)
-            return _MultiplierEntry(multiplier, verified=verify)
-
-        entry = self._cache.get_or_create((method, modulus), build)
-        if verify and not entry.verified:
-            with self._lock:
-                if not entry.verified:
-                    from ..netlist.verify import verify_netlist
-
-                    report = verify_netlist(entry.multiplier.netlist, entry.multiplier.spec)
-                    if not report:
-                        raise RuntimeError(
-                            f"cached {method} multiplier failed verification: {report.summary()}"
-                        )
-                    entry.verified = True
-        return entry.multiplier
-
-    def is_verified(self, method: str, modulus: int) -> bool:
-        """Whether the cached entry (if any) has been formally verified."""
-        entry = self._cache.peek((method, modulus))
-        return bool(entry and entry.verified)
-
-    def __contains__(self, key) -> bool:
-        return key in self._cache
-
-    def __len__(self) -> int:
-        return len(self._cache)
-
-    def clear(self) -> None:
-        """Drop all cached multipliers and reset statistics."""
-        self._cache.clear()
-
-    def info(self) -> CacheInfo:
-        """Hit/miss/eviction counters of the underlying LRU."""
-        return self._cache.info()
-
-
-#: Process-wide default cache used by the registry, CLI and benchmarks.
-_DEFAULT_CACHE = MultiplierCache(maxsize=32)
-
-
-def default_multiplier_cache() -> MultiplierCache:
-    """The process-wide :class:`MultiplierCache` shared by library entry points."""
-    return _DEFAULT_CACHE
-
-
-def cached_multiplier(method: str, modulus: int, verify: bool = True):
-    """Fetch a multiplier through the process-wide cache (generating on miss)."""
-    return _DEFAULT_CACHE.get(method, modulus, verify=verify)
+warnings.warn(
+    "repro.engine.cache is deprecated: import LRUCache/CacheInfo from "
+    "repro.pipeline.store and MultiplierCache/cached_multiplier/"
+    "default_multiplier_cache from repro.multipliers.cache",
+    DeprecationWarning,
+    stacklevel=2,
+)

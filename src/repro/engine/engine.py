@@ -33,9 +33,10 @@ import threading
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..multipliers.cache import cached_multiplier
 from ..netlist.netlist import Netlist
+from ..pipeline.store import LRUCache
 from .bitpack import pack_rows, unpack_planes
-from .cache import LRUCache, cached_multiplier
 from .compiler import CompiledNetlist, compile_netlist
 
 __all__ = ["Engine", "engine_for", "engine_for_netlist"]
@@ -188,7 +189,7 @@ def engine_for(method: str, modulus: int, *, mode: str = "exec", verify: bool = 
     """A cached :class:`Engine` for the given construction and modulus.
 
     The multiplier circuit is obtained through the process-wide
-    :func:`repro.engine.cache.cached_multiplier`, so neither the SiTi
+    :func:`repro.multipliers.cache.cached_multiplier`, so neither the SiTi
     splitting derivation nor the formal verification nor the compilation is
     repeated for the same ``(method, modulus, mode)`` triple.
     """

@@ -6,11 +6,13 @@ canonical basis ``{1, x, ..., x^(m-1)}`` and stored as integers whose bit
 ``i`` is the coordinate ``a_i``.
 
 General multiplication stays deliberately straightforward (carry-less
-multiply then reduce); its job is correctness — the *circuits* produced by
-:mod:`repro.multipliers` are the fast path for operand streams (see
-:meth:`GF2mField.multiply_batch`).  The GF(2)-**linear** operations that
-dominate elliptic-curve point arithmetic do get native fast paths, because
-no batching can hide their latency inside a scalar-multiplication ladder:
+multiply then reduce); its job is correctness — batch operand streams are
+delegated to a pluggable execution *backend* (:mod:`repro.backends`: the
+scalar reference, the compiled circuit engine, or numpy bitslicing; see
+:meth:`GF2mField.multiply_batch` and the ``backend`` constructor
+parameter).  The GF(2)-**linear** operations that dominate elliptic-curve
+point arithmetic do get native fast paths, because no batching can hide
+their latency inside a scalar-multiplication ladder:
 
 * :meth:`GF2mField.square` applies a precomputed sparse linear map (squaring
   permutes basis coordinates and reduces, it never needs a full product);
@@ -97,6 +99,17 @@ class GF2mField:
         multiplication is well defined for any modulus, so callers that only
         need the ring structure (e.g. experimental pentanomials) may disable
         the check.
+    backend:
+        The default execution backend for the batch operations
+        (:meth:`multiply_batch`, :meth:`square_batch`,
+        :meth:`inverse_batch`): a registered name (``"python"``,
+        ``"engine"``, ``"bitslice"``), a
+        :class:`~repro.backends.base.FieldBackend` instance, or ``None``
+        for the registry default (``$GF2M_REPRO_BACKEND`` override, else
+        per-field resolution).  Resolution is lazy, so constructing a
+        field never compiles a circuit.  Backend choice does not affect
+        equality/hashing — fields with equal moduli are equal and their
+        results are byte-identical by the backend parity contract.
 
     Examples
     --------
@@ -107,7 +120,7 @@ class GF2mField:
     True
     """
 
-    def __init__(self, modulus: int, check_irreducible: bool = True) -> None:
+    def __init__(self, modulus: int, check_irreducible: bool = True, backend=None) -> None:
         m = degree(modulus)
         if m < 1:
             raise ValueError("the field modulus must have degree >= 1")
@@ -120,6 +133,8 @@ class GF2mField:
         self._m = m
         self._irreducible = is_irreducible(modulus) if not check_irreducible else True
         self._square_map: Optional[GF2LinearMap] = None
+        self._backend_spec = backend
+        self._backend = None  # resolved lazily (avoids import cost / circuit builds)
 
     # ------------------------------------------------------------------ meta
     @property
@@ -159,11 +174,55 @@ class GF2mField:
     def __hash__(self) -> int:
         return hash(("GF2mField", self._modulus))
 
+    # -------------------------------------------------------------- backends
+    @property
+    def backend(self):
+        """The field's default :class:`~repro.backends.base.FieldBackend`.
+
+        Resolved lazily from the ``backend`` constructor argument through
+        the registry (honouring ``$GF2M_REPRO_BACKEND``); every batch
+        operation without an explicit ``backend=`` argument runs here.
+        """
+        if self._backend is None:
+            from ..backends.registry import resolve_backend
+
+            self._backend = resolve_backend(self, self._backend_spec)
+        return self._backend
+
+    def resolve_backend(self, backend=None, method: Optional[str] = None):
+        """Resolve a per-call backend spec (name, instance or ``None``).
+
+        ``method`` picks the multiplier construction of circuit-backed
+        backends; passing only ``method`` selects the engine, preserving
+        the historical ``multiply_batch(..., method=...)`` meaning.  With
+        neither argument the field's default :attr:`backend` is returned.
+        """
+        if backend is None and method is None:
+            return self.backend
+        from ..backends.registry import resolve_backend
+
+        return resolve_backend(self, backend, method=method)
+
     # ------------------------------------------------------------- arithmetic
     def _check(self, value: int) -> int:
         if not 0 <= value < self.order:
             raise ValueError(f"0x{value:x} is not a valid GF(2^{self._m}) element")
         return value
+
+    def _check_batch(self, values: Sequence[int]) -> None:
+        """Range-check a whole operand stream in O(1) Python-level work.
+
+        One ``min``/``max`` pass (C speed) replaces the per-element
+        ``_check`` loop that used to dominate small-field batch calls; the
+        slow per-element walk runs only to name the offender once a batch
+        is known to be bad.
+        """
+        if not values:
+            return
+        if min(values) < 0 or max(values).bit_length() > self._m:
+            for value in values:
+                self._check(value)
+            raise AssertionError("unreachable: a bad batch must contain a bad element")
 
     def add(self, a: int, b: int) -> int:
         """Field addition (bitwise XOR of coordinates)."""
@@ -173,36 +232,42 @@ class GF2mField:
         """Field multiplication: carry-less product reduced modulo ``f``."""
         return poly_mod(clmul(self._check(a), self._check(b)), self._modulus)
 
-    def multiply_batch(self, a_values: List[int], b_values: List[int], method: Optional[str] = None) -> List[int]:
+    def multiply_batch(
+        self,
+        a_values: List[int],
+        b_values: List[int],
+        method: Optional[str] = None,
+        backend=None,
+    ) -> List[int]:
         """Elementwise products of two operand streams, at batch speed.
 
         Heavy traffic should not pay the per-call reduce of :meth:`multiply`:
-        this routes the whole batch through the compiled circuit engine
-        (:mod:`repro.engine`), which bit-packs the streams and evaluates a
-        generated multiplier netlist on all pairs at once — 15-30× faster
-        than scalar calls for large batches.
+        the whole batch is delegated to an execution backend
+        (:mod:`repro.backends`) — by default the compiled circuit engine,
+        which bit-packs the streams and evaluates a generated multiplier
+        netlist on all pairs at once; the numpy ``bitslice`` backend
+        evaluates the same netlist over ``uint64`` plane arrays instead.
 
-        ``method`` selects the circuit construction; by default the paper's
-        ``thiswork`` multiplier is used when the modulus is a type II
-        pentanomial and the generic ``schoolbook`` construction otherwise.
-        The engine (and the underlying multiplier) is cached per
-        ``(method, modulus)``, so the first call pays a one-time compilation.
-        The scalar :meth:`multiply` remains the independent reference
-        implementation the circuits are verified against.
+        ``backend`` names the substrate (or passes an instance); ``method``
+        selects the circuit construction of circuit-backed backends (by
+        default the paper's ``thiswork`` multiplier for type II pentanomial
+        moduli, generic ``schoolbook`` otherwise).  Backends and their
+        compiled circuits are cached, so only the first call pays one-time
+        costs.  The scalar :meth:`multiply` remains the independent
+        reference implementation every backend is verified against.
         """
         if len(a_values) != len(b_values):
             raise ValueError(
                 f"operand streams differ in length: {len(a_values)} vs {len(b_values)}"
             )
-        for value in a_values:
-            self._check(value)
-        for value in b_values:
-            self._check(value)
-        if method is None:
-            method = "thiswork" if type_ii_parameters(self._modulus) is not None else "schoolbook"
-        from ..engine.engine import engine_for
+        self._check_batch(a_values)
+        self._check_batch(b_values)
+        return self.resolve_backend(backend, method=method).multiply_batch(a_values, b_values)
 
-        return engine_for(method, self._modulus).multiply_batch(a_values, b_values)
+    def square_batch(self, values: Sequence[int], backend=None) -> List[int]:
+        """Elementwise squares of an operand stream (backend-delegated)."""
+        self._check_batch(values)
+        return self.resolve_backend(backend).square_batch(values)
 
     # --------------------------------------------------- linear-map fast paths
     def _reduce_partial(self, value: int) -> int:
@@ -334,31 +399,20 @@ class GF2mField:
                 k += 1
         return square(beta)
 
-    def inverse_batch(self, values: Sequence[int]) -> List[int]:
+    def inverse_batch(self, values: Sequence[int], backend=None) -> List[int]:
         """Inverses of a whole operand stream for the cost of one inversion.
 
-        Montgomery's simultaneous-inversion trick: form the prefix products,
-        invert only the total, then walk back unwinding one factor at a
-        time — ``3(len - 1)`` multiplications plus a single
-        :meth:`inverse`.  Raises ``ZeroDivisionError`` if any input is zero
-        (identifying the first offending index).
+        Montgomery's simultaneous-inversion trick (delegated to the
+        backend): form the prefix products, invert only the total, then
+        walk back unwinding one factor at a time — ``3(len - 1)``
+        multiplications plus a single :meth:`inverse`.  Raises
+        ``ZeroDivisionError`` *before any product is formed* if any input
+        is zero, identifying the first offending index.
         """
-        for index, value in enumerate(values):
-            if self._check(value) == 0:
-                raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
-        if not values:
-            return []
-        multiply = self.multiply
-        prefix = [values[0]]
-        for value in values[1:]:
-            prefix.append(multiply(prefix[-1], value))
-        running = self.inverse(prefix[-1])
-        inverses = [0] * len(values)
-        for index in range(len(values) - 1, 0, -1):
-            inverses[index] = multiply(running, prefix[index - 1])
-            running = multiply(running, values[index])
-        inverses[0] = running
-        return inverses
+        self._check_batch(values)
+        if not self._irreducible and values:
+            raise ValueError("inverses are only defined when the modulus is irreducible")
+        return self.resolve_backend(backend).inverse_batch(values)
 
     def trace(self, a: int) -> int:
         """Absolute trace Tr(a) = a + a^2 + a^4 + ... + a^(2^(m-1)) in GF(2)."""

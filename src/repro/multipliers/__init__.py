@@ -1,6 +1,7 @@
 """Bit-parallel GF(2^m) multiplier constructions (the paper's method and baselines)."""
 
 from .base import GeneratedMultiplier, MultiplierGenerator, OperandNodes
+from .cache import MultiplierCache, cached_multiplier, default_multiplier_cache
 from .imana2012 import Imana2012Multiplier
 from .imana2016 import Imana2016Multiplier
 from .paar import PaarMultiplier
@@ -22,6 +23,9 @@ __all__ = [
     "GeneratedMultiplier",
     "MultiplierGenerator",
     "OperandNodes",
+    "MultiplierCache",
+    "cached_multiplier",
+    "default_multiplier_cache",
     "Imana2012Multiplier",
     "Imana2016Multiplier",
     "PaarMultiplier",

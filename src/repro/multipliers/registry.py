@@ -81,14 +81,14 @@ def generate_multiplier(
     """Look up a generator and run it on ``modulus``, caching the result.
 
     By default the circuit comes from the process-wide
-    :class:`~repro.engine.cache.MultiplierCache`, so repeated requests for
-    the same ``(method, modulus)`` pair — CLI invocations, comparison
+    :class:`~repro.multipliers.cache.MultiplierCache`, so repeated requests
+    for the same ``(method, modulus)`` pair — CLI invocations, comparison
     sweeps, benchmark loops — re-derive neither the SiTi splitting nor the
     formal verification.  Cached multipliers are shared: treat their
     netlists as immutable, or pass ``use_cache=False`` for a private copy.
     """
     if use_cache:
-        from ..engine.cache import cached_multiplier
+        from .cache import cached_multiplier
 
         return cached_multiplier(method, modulus, verify=verify)
     return get_generator(method).generate(modulus, verify=verify)

@@ -152,6 +152,40 @@ def verify_netlist(netlist: Netlist, spec: ProductSpec) -> VerificationReport:
     )
 
 
+def _netlist_evaluator(netlist: Netlist, m: int, backend: str, vector_count: int):
+    """The batch evaluator of the requested simulation substrate.
+
+    ``backend`` mirrors the execution-backend names of
+    :mod:`repro.backends`: ``"engine"`` compiles the netlist to the
+    big-integer straight-line evaluator, ``"bitslice"`` lowers it to numpy
+    plane arrays, ``"python"`` (or ``"interpreter"``) walks it with the
+    interpreted simulator.  Raises ``KeyError`` for unknown names and
+    whatever the substrate itself raises (e.g. ``ImportError`` from
+    ``bitslice`` without numpy) — an explicitly requested substrate must
+    not silently degrade, or the parity assertion would be meaningless.
+    """
+    if backend == "engine":
+        from ..engine.engine import engine_for_netlist
+
+        # Straight-line code generation costs ~1 s per 50k gates; it only pays
+        # off for big vector sets (exhaustive small-field sweeps).  Spot checks
+        # of large netlists use the instantly-compiled flat schedule instead.
+        mode = "exec" if vector_count >= 2048 else "arrays"
+        return engine_for_netlist(netlist, m, mode=mode).multiply_batch
+    if backend == "bitslice":
+        from ..backends.bitslice import BitslicedNetlist
+
+        return BitslicedNetlist(netlist, m).multiply_batch
+    if backend in ("python", "interpreter"):
+        def multiply_batch(a_chunk, b_chunk):
+            return simulate_words(netlist, m, a_chunk, b_chunk)
+
+        return multiply_batch
+    raise KeyError(
+        f"unknown simulation backend {backend!r}; expected 'engine', 'bitslice' or 'python'"
+    )
+
+
 def verify_by_simulation(
     netlist: Netlist,
     modulus: int,
@@ -159,6 +193,7 @@ def verify_by_simulation(
     seed: int = 2018,
     exhaustive_limit: int = 8,
     use_engine: bool = True,
+    backend: Optional[str] = None,
 ) -> bool:
     """Check the netlist against reference field arithmetic by simulation.
 
@@ -166,11 +201,14 @@ def verify_by_simulation(
     ``2^m × 2^m`` operand pairs in bit-parallel batches); larger fields use
     ``trials`` random pairs plus a few structured corner cases.
 
-    Simulation vectors are pushed through the compiled batch engine
-    (:mod:`repro.engine`) by default — exhaustive sweeps of small fields run
-    tens of times faster that way.  Pass ``use_engine=False`` to exercise
-    the interpreted :func:`~repro.netlist.simulate.simulate_words` path
-    instead, e.g. when the engine itself is the code under test.
+    ``backend`` selects the simulation substrate (``"engine"``,
+    ``"bitslice"`` or ``"python"``), so parity with the reference scalar
+    arithmetic is asserted uniformly for every execution backend on the
+    very same vectors.  Without it, the legacy behaviour applies: the
+    compiled engine when ``use_engine`` is true (falling back to the
+    interpreter for netlists outside the multiplier I/O convention), the
+    interpreted :func:`~repro.netlist.simulate.simulate_words` path
+    otherwise — e.g. when the engine itself is the code under test.
     """
     m = degree(modulus)
     reference = GF2mField(modulus, check_irreducible=False)
@@ -188,23 +226,17 @@ def verify_by_simulation(
         for _ in range(trials):
             a_values.append(rng.getrandbits(m))
             b_values.append(rng.getrandbits(m))
-    multiply_batch = None
-    if use_engine:
-        from ..engine.engine import engine_for_netlist
-
-        # Straight-line code generation costs ~1 s per 50k gates; it only pays
-        # off for big vector sets (exhaustive small-field sweeps).  Spot checks
-        # of large netlists use the instantly-compiled flat schedule instead.
-        mode = "exec" if len(a_values) >= 2048 else "arrays"
+    if backend is not None:
+        multiply_batch = _netlist_evaluator(netlist, m, backend, len(a_values))
+    elif use_engine:
         try:
-            multiply_batch = engine_for_netlist(netlist, m, mode=mode).multiply_batch
+            multiply_batch = _netlist_evaluator(netlist, m, "engine", len(a_values))
         except ValueError:
             # Netlists outside the multiplier I/O convention (odd input names,
             # missing outputs) still verify through the tolerant interpreter.
-            multiply_batch = None
-    if multiply_batch is None:
-        def multiply_batch(a_chunk, b_chunk):
-            return simulate_words(netlist, m, a_chunk, b_chunk)
+            multiply_batch = _netlist_evaluator(netlist, m, "python", len(a_values))
+    else:
+        multiply_batch = _netlist_evaluator(netlist, m, "python", len(a_values))
     batch = 4096
     for start in range(0, len(a_values), batch):
         a_chunk = a_values[start:start + batch]

@@ -4,7 +4,8 @@ This package scales the implementation flow from "one multiplier at a time"
 to production-size grids (ROADMAP: sharding, batching, caching):
 
 * :mod:`repro.pipeline.store` — the shared caching layer: the generic
-  thread-safe :class:`LRUCache` (also backing :mod:`repro.engine.cache`) and
+  thread-safe :class:`LRUCache` (also backing :mod:`repro.multipliers.cache`
+  and the backend registry) and
   the content-addressed on-disk :class:`ArtifactStore` under
   ``~/.cache/gf2m-repro`` (or ``--cache-dir`` / ``$GF2M_REPRO_CACHE_DIR``);
 * :mod:`repro.pipeline.stages` — the typed staged-job graph

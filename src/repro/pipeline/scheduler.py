@@ -45,6 +45,12 @@ class SweepJob:
     #: Formally verify the generated circuit (the sweep enables this for
     #: small fields only; it does not change the produced metrics).
     verify: bool = False
+    #: Execution backend the job runs under (:mod:`repro.backends` name, or
+    #: ``None`` for the default).  Verifying jobs additionally cross-check
+    #: the generated circuit through this substrate, and the artifact key
+    #: includes it, so sweeps under different backends never share cache
+    #: entries.
+    backend: Optional[str] = None
 
     @property
     def modulus(self) -> int:
@@ -74,11 +80,13 @@ class JobOutcome:
 def artifact_key(job: SweepJob) -> str:
     """The content-addressed store key of a job's implementation result.
 
-    Covers the method, the exact modulus, every ``SynthesisOptions`` field
-    and every ``DeviceModel`` field — change any of them and the key (hence
-    the cache entry) changes.  The ``verify`` flag is deliberately excluded:
-    verification cannot alter the produced metrics, exactly like the
-    in-memory :class:`~repro.engine.cache.MultiplierCache` key.
+    Covers the method, the exact modulus, every ``SynthesisOptions`` field,
+    every ``DeviceModel`` field and the execution backend — change any of
+    them and the key (hence the cache entry) changes, so artifacts produced
+    under different backends are never conflated.  The ``verify`` flag is
+    deliberately excluded: verification cannot alter the produced metrics,
+    exactly like the in-memory
+    :class:`~repro.multipliers.cache.MultiplierCache` key.
     """
     return canonical_fingerprint(
         {
@@ -87,6 +95,7 @@ def artifact_key(job: SweepJob) -> str:
             "modulus": job.modulus,
             "device": job.device,
             "options": job.options,
+            "backend": job.backend,
         }
     )
 
@@ -106,7 +115,14 @@ def execute_job(job: SweepJob, store: Optional[ArtifactStore] = None) -> JobOutc
         if payload is not None:
             result = ImplementationResult.from_json_dict(payload["result"])
             return JobOutcome(job=job, result=result, cache_hit=True, elapsed_s=time.perf_counter() - started)
-    trace = run_stages(job.method, job.modulus, device=job.device, options=job.options, verify=job.verify)
+    trace = run_stages(
+        job.method,
+        job.modulus,
+        device=job.device,
+        options=job.options,
+        verify=job.verify,
+        backend=job.backend,
+    )
     result = trace.artifacts.result
     if store is not None:
         store.put_json(
@@ -119,6 +135,7 @@ def execute_job(job: SweepJob, store: Optional[ArtifactStore] = None) -> JobOutc
                     "n": job.n,
                     "device": job.device.name,
                     "effort": job.options.effort,
+                    "backend": job.backend,
                 },
                 "stage_seconds": {name: round(seconds, 6) for name, seconds in trace.stage_seconds.items()},
             },

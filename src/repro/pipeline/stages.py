@@ -16,7 +16,7 @@ instead of producing a partial artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..synth import flow as _flow
 from ..synth.device import ARTIX7, DeviceModel
@@ -43,8 +43,28 @@ class Stage:
     run: Callable[..., Any]
 
 
-def _run_generate(context: Dict[str, Any], *, method: str, modulus: int, verify: bool, **_: Any):
-    return _flow.stage_generate(method, modulus, verify=verify)
+def _run_generate(
+    context: Dict[str, Any],
+    *,
+    method: str,
+    modulus: int,
+    verify: bool,
+    backend: Optional[str] = None,
+    **_: Any,
+):
+    multiplier = _flow.stage_generate(method, modulus, verify=verify)
+    if verify and backend is not None:
+        # Verifying jobs that name an execution backend also assert parity of
+        # the generated circuit through that substrate — the sweep-level twin
+        # of the formal product-spec check.
+        from ..netlist.verify import verify_by_simulation
+
+        if not verify_by_simulation(multiplier.netlist, modulus, trials=64, backend=backend):
+            raise RuntimeError(
+                f"{method} multiplier for modulus 0x{modulus:x} failed the "
+                f"{backend!r}-backend simulation cross-check"
+            )
+    return multiplier
 
 
 def _run_restructure(context: Dict[str, Any], *, options: SynthesisOptions, **_: Any):
@@ -98,13 +118,16 @@ def run_stages(
     device: DeviceModel = ARTIX7,
     options: SynthesisOptions = SynthesisOptions(),
     verify: bool = False,
+    backend: Optional[str] = None,
     stages: Tuple[Stage, ...] = PIPELINE_STAGES,
 ) -> StageTrace:
     """Execute the staged graph for one (method, modulus, device, options) job.
 
-    Returns the :class:`FlowArtifacts` of the winning candidate together
-    with per-stage wall-times.  The result is identical to
-    ``implement(stage_generate(method, modulus), device, options,
+    ``backend`` names the execution backend the job runs under; verifying
+    jobs cross-check the generated circuit through it (see
+    ``_run_generate``).  Returns the :class:`FlowArtifacts` of the winning
+    candidate together with per-stage wall-times.  The result is identical
+    to ``implement(stage_generate(method, modulus), device, options,
     keep_artifacts=True)`` — both drive the same stage functions.
     """
     import time as _time
@@ -117,7 +140,13 @@ def run_stages(
             raise StageError(f"stage {stage.name!r} is missing inputs {missing} (graph misordered?)")
         started = _time.perf_counter()
         context[stage.produces] = stage.run(
-            context, method=method, modulus=modulus, device=device, options=options, verify=verify
+            context,
+            method=method,
+            modulus=modulus,
+            device=device,
+            options=options,
+            verify=verify,
+            backend=backend,
         )
         timings[stage.name] = _time.perf_counter() - started
     if "artifacts" not in context:

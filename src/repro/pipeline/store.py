@@ -3,9 +3,10 @@
 Two storage primitives back every cache in the library:
 
 * :class:`LRUCache` — the small generic thread-safe LRU originally grown for
-  the multiplier/engine caches of :mod:`repro.engine.cache` (which now
-  imports it from here).  Anything process-local and expensive to rebuild —
-  generated multipliers, compiled engines — sits in one of these.
+  the multiplier/engine caches (now :mod:`repro.multipliers.cache` and the
+  engine/backend registries, all of which import it from here).  Anything
+  process-local and expensive to rebuild — generated multipliers, compiled
+  engines, resolved backends — sits in one of these.
 * :class:`ArtifactStore` — a content-addressed on-disk store for pipeline
   artifacts.  Keys are SHA-256 digests of a canonical-JSON *fingerprint* of
   everything that determines the artifact (method, modulus,

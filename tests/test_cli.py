@@ -121,12 +121,53 @@ class TestBatchCommand:
         assert main(["batch", "-m", "8", "-n", "2", "--count", "0"]) == 0
         assert capsys.readouterr().out == ""
 
+    @pytest.mark.parametrize("backend", ["python", "engine", "bitslice"])
+    def test_batch_backends_agree_with_reference(self, backend, capsys):
+        if backend == "bitslice":
+            pytest.importorskip("numpy")
+        assert main(
+            ["batch", "-m", "16", "-n", "3", "--count", "32", "--check",
+             "--backend", backend, "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "all match" in out and backend in out
+
+    def test_batch_python_backend_rejects_a_method(self):
+        with pytest.raises(SystemExit, match="evaluates no circuit"):
+            main(["batch", "-m", "8", "-n", "2", "--backend", "python", "--method", "thiswork"])
+
 
 class TestBenchCommand:
     def test_quick_bench_reports_both_paths(self, capsys):
         assert main(["bench", "-m", "16", "-n", "3", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "interpreted" in out and "compiled" in out and "speedup" in out
+
+    @pytest.mark.parametrize("backend", ["python", "engine", "bitslice"])
+    def test_bench_backend_cross_check(self, backend, capsys):
+        if backend == "bitslice":
+            pytest.importorskip("numpy")
+        assert main(
+            ["bench", "-m", "16", "-n", "3", "--quick", "--backend", backend, "--check"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scalar ref" in out and "speedup" in out
+        assert "checked" in out and "all match" in out
+
+    def test_bench_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--backend", "no_such_backend"])
+
+    def test_bench_honours_the_env_default(self, monkeypatch, capsys):
+        monkeypatch.setenv("GF2M_REPRO_BACKEND", "python")
+        assert main(["bench", "-m", "16", "-n", "3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "scalar ref" in out and "interpreted" not in out
+
+    def test_bench_env_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("GF2M_REPRO_BACKEND", "no_such_backend")
+        with pytest.raises(SystemExit, match="no_such_backend"):
+            main(["bench", "-m", "16", "-n", "3", "--quick"])
 
 
 class TestParseFields:
@@ -188,6 +229,19 @@ class TestSweepCommand:
     def test_sweep_stats_lines(self, capsys):
         assert main(self.ARGS + ["--no-cache", "--stats"]) == 0
         assert "[miss]" in capsys.readouterr().err
+
+    def test_sweep_backend_isolates_cache_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "sweep-cache")
+        base = ["sweep", "--fields", "8:2", "--methods", "thiswork", "--efforts", "1",
+                "--cache-dir", cache_dir]
+        assert main(base + ["--backend", "engine"]) == 0
+        assert main(base + ["--backend", "engine"]) == 0
+        assert main(base + ["--backend", "python"]) == 0
+        captured = capsys.readouterr().err
+        # engine cold, engine warm, python cold: no cross-backend hits.
+        assert "cache: 0 hits, 1 misses" in captured
+        assert "cache: 1 hits, 0 misses" in captured
+        assert captured.count("cache: 0 hits, 1 misses") == 2
 
     def test_sweep_rejects_unknown_device(self):
         with pytest.raises(SystemExit, match="unknown device"):
@@ -258,3 +312,13 @@ class TestEcdhCommand:
     def test_ecdh_rejects_bad_batch(self):
         with pytest.raises(SystemExit, match="--batch"):
             main(["ecdh", "--curve", "T-13", "--batch", "0"])
+
+    @pytest.mark.parametrize("backend", ["python", "bitslice"])
+    def test_ecdh_backend_selection(self, backend, capsys):
+        if backend == "bitslice":
+            pytest.importorskip("numpy")
+        assert main(
+            ["ecdh", "--curve", "T-13", "--batch", "4", "--check", "2", "--backend", backend]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"backend {backend}" in out and "byte-identical" in out

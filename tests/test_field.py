@@ -154,6 +154,39 @@ class TestFastLinearOps:
             gf28_field.inverse_batch([1, 2, 0, 3])
         assert gf28_field.inverse_batch([]) == []
 
+    def test_inverse_batch_names_the_first_zero(self, gf28_field):
+        with pytest.raises(ZeroDivisionError, match="index 0"):
+            gf28_field.inverse_batch([0, 1, 0])
+        with pytest.raises(ZeroDivisionError, match="index 3"):
+            gf28_field.inverse_batch([7, 9, 11, 0])
+
+    def test_inverse_batch_rejects_zero_before_any_work(self, gf28_field):
+        """A zero must abort before prefix products are formed.
+
+        A backend whose multiply counts calls proves no product involving
+        the poisoned stream is ever computed.
+        """
+        from repro.backends.python_int import PythonIntBackend
+
+        calls = []
+
+        class CountingBackend(PythonIntBackend):
+            def multiply(self, a, b):
+                calls.append((a, b))
+                return super().multiply(a, b)
+
+        backend = CountingBackend(gf28_field)
+        with pytest.raises(ZeroDivisionError, match="index 1"):
+            gf28_field.inverse_batch([5, 0, 7], backend=backend)
+        assert calls == []
+
+    def test_inverse_batch_rejects_reducible_moduli(self):
+        ring = GF2mField(0b101010101, check_irreducible=False)
+        assert not ring.is_field
+        with pytest.raises(ValueError, match="irreducible"):
+            ring.inverse_batch([1, 2])
+        assert ring.inverse_batch([]) == []
+
     def test_constant_multiplier_matches_multiply(self, gf28_field):
         rng = random.Random(18)
         for _ in range(10):
@@ -238,6 +271,17 @@ class TestFieldElement:
         assert int(a - b) == int(a + b)          # characteristic 2
         assert int((a * b) / b) == 0x57
         assert int(a ** 2) == gf28_field.square(0x57)
+
+    def test_division_by_zero_raises(self, gf28_field):
+        a = gf28_field(0x57)
+        with pytest.raises(ZeroDivisionError):
+            _ = a / gf28_field(0)
+        with pytest.raises(ZeroDivisionError):
+            _ = a / 0
+        with pytest.raises(ZeroDivisionError):
+            gf28_field(0).inverse()
+        # Zero is a perfectly fine numerator.
+        assert int(gf28_field(0) / a) == 0
 
     def test_mixing_fields_raises(self, gf28_field):
         other = GF2mField(0b1011)

@@ -123,6 +123,37 @@ class TestVerification:
         # Random mode (force by lowering the exhaustive limit).
         assert verify_by_simulation(netlist, gf28_modulus, trials=32, exhaustive_limit=4)
 
+    def test_simulation_is_backend_parameterized(self, gf28_modulus):
+        """Parity is asserted through every execution substrate uniformly."""
+        from repro.backends import numpy_available
+
+        netlist = tiny_correct_netlist(gf28_modulus)
+        backends = ["engine", "python"] + (["bitslice"] if numpy_available() else [])
+        for backend in backends:
+            assert verify_by_simulation(
+                netlist, gf28_modulus, trials=16, exhaustive_limit=4, backend=backend
+            ), backend
+        with pytest.raises(KeyError, match="unknown simulation backend"):
+            verify_by_simulation(netlist, gf28_modulus, backend="no_such_backend")
+
+    def test_backend_parameterized_simulation_catches_bugs(self):
+        from repro.backends import numpy_available
+
+        modulus = 0b1011
+        spec = ProductSpec.from_modulus(modulus)
+        netlist = Netlist(name="buggy")
+        a = [netlist.add_input(f"a{i}") for i in range(3)]
+        b = [netlist.add_input(f"b{i}") for i in range(3)]
+        for k in range(3):
+            pairs = sorted(spec.pairs(k))[:-1] if k == 2 else sorted(spec.pairs(k))
+            products = [netlist.and2(a[i], b[j]) for i, j in pairs]
+            netlist.add_output(f"c{k}", netlist.xor_reduce(products))
+        backends = ["engine", "python"] + (["bitslice"] if numpy_available() else [])
+        for backend in backends:
+            assert not verify_by_simulation(
+                netlist, modulus, exhaustive_limit=4, backend=backend
+            ), backend
+
     def test_simulation_catches_bug(self):
         modulus = 0b1011
         spec = ProductSpec.from_modulus(modulus)

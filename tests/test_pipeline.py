@@ -90,6 +90,13 @@ class TestArtifactKey:
         job = SweepJob(method="thiswork", m=8, n=2, options=FAST, verify=False)
         assert artifact_key(job) == artifact_key(dataclasses.replace(job, verify=True))
 
+    def test_backend_changes_the_key(self):
+        job = SweepJob(method="thiswork", m=8, n=2, options=FAST)
+        engine = dataclasses.replace(job, backend="engine")
+        bitslice = dataclasses.replace(job, backend="bitslice")
+        keys = {artifact_key(job), artifact_key(engine), artifact_key(bitslice)}
+        assert len(keys) == 3
+
 
 class TestStageGraph:
     def test_run_stages_matches_implement(self, gf28_modulus):
@@ -130,6 +137,30 @@ class TestScheduler:
         jobs = build_sweep_jobs(fields=FIELDS, methods=METHODS, options=FAST)
         outcomes = run_jobs(jobs, parallelism=1, store=store)
         assert [outcome.job for outcome in outcomes] == jobs
+
+    def test_no_cross_backend_cache_hits(self, store):
+        """Warm runs under one backend must never serve another backend's rows."""
+        grid = dict(fields=[(8, 2)], methods=["thiswork"], options=FAST, store=store)
+        engine_cold = run_sweep(backend="engine", **grid)
+        assert (engine_cold.cache_hits, engine_cold.cache_misses) == (0, 1)
+        engine_warm = run_sweep(backend="engine", **grid)
+        assert (engine_warm.cache_hits, engine_warm.cache_misses) == (1, 0)
+        python_cold = run_sweep(backend="python", **grid)
+        assert (python_cold.cache_hits, python_cold.cache_misses) == (0, 1)
+        # The metrics themselves are backend-independent — only the cache
+        # entries are distinct.
+        assert [o.result for o in python_cold.outcomes] == [o.result for o in engine_cold.outcomes]
+
+    def test_verifying_jobs_cross_check_through_the_backend(self, store):
+        job = SweepJob(method="thiswork", m=8, n=2, options=FAST, verify=True, backend="python")
+        outcome = execute_job(job, store=store)
+        assert outcome.cache_hit is False
+        payload = store.get_json(artifact_key(job))
+        assert payload["job"]["backend"] == "python"
+        with pytest.raises(KeyError, match="unknown simulation backend"):
+            # An unknown backend must fail the verifying job loudly, not skip
+            # the cross-check.
+            execute_job(dataclasses.replace(job, backend="no_such_backend"), store=store)
 
     def test_stored_payload_is_lossless(self, store):
         job = SweepJob(method="thiswork", m=8, n=2, options=FAST)
