@@ -3,8 +3,10 @@
 Runs every registered execution backend (:mod:`repro.backends`) over the
 PR 1 throughput grid — the NIST fields m ∈ {163, 233, 283} at 2048 operand
 pairs — asserts cross-backend byte-parity on every measured batch, and
-emits a machine-readable JSON report so CI can accumulate the performance
-trajectory as workflow artifacts (``BENCH_backends.json``).
+emits a machine-readable JSON report (``BENCH_backends.json``, schema
+``{bench, commit_pr, config, results}``).  A snapshot of that file is
+committed at the repo root as the in-repo performance trajectory, and CI
+additionally uploads the freshly measured one as a workflow artifact.
 
 The acceptance figure asserted here (and in the CI quick run): the numpy
 ``bitslice`` backend must beat the ``python`` scalar reference by ≥ 5× at
@@ -42,6 +44,9 @@ SCALAR_PAIRS = 512
 
 #: The asserted acceptance floor: bitslice over python at m=163, batch 2048.
 BITSLICE_FLOOR = 5.0
+
+#: The PR that produced the committed trajectory snapshot (JSON schema field).
+COMMIT_PR = 5
 
 
 def measure_backend(backend, a_values, b_values, measure_pairs=None, repeats=3):
@@ -177,13 +182,17 @@ def main(argv=None):
     print(report(rows))
     if args.json:
         payload = {
-            "benchmark": "backends",
-            "grid": {"fields": fields, "pairs": args.pairs},
-            "platform": {
-                "python": platform.python_version(),
-                "machine": platform.machine(),
+            "bench": "backends",
+            "commit_pr": COMMIT_PR,
+            "config": {
+                "fields": fields,
+                "pairs": args.pairs,
+                "platform": {
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                },
             },
-            "rows": rows,
+            "results": rows,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)

@@ -1,0 +1,161 @@
+"""Plane-resident ladder vs the per-step batch path — the PR 5 tentpole figure.
+
+Both paths run the identical batched López-Dahab Montgomery ladder on the
+same ``bitslice`` backend; the difference is purely data movement.  The
+per-step path (what PR 4 shipped) packs operands into bit planes and
+unpacks products **every ladder step** — ~2·m full bit-matrix transposes
+per scalar multiplication — and runs all squarings and XORs as per-element
+scalar Python in between.  The plane-resident path packs the base-point
+coordinates **once**, keeps every step in the uint64 plane domain (two
+lane-stacked netlist passes plus compiled linear-map plane programs per
+step), and unpacks once before the shared Montgomery-trick inversions.
+
+The asserted acceptance figure: plane-resident batched ECDH agreement on
+B-163 with the ``bitslice`` backend must be ≥ 2× the per-step path (the
+conservative CI floor for shared runners; the local target in ISSUE 5 is
+≥ 3× at batch 256, recorded in ``BENCH_plane_ladder.json``).  Results are
+asserted byte-identical between the paths and against the scalar-ladder
+reference.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_plane_ladder.py --json BENCH_plane_ladder.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+
+from repro.backends import get_backend, numpy_available
+from repro.curves import curve_by_name, ecdh_batch
+
+#: The headline grid point: NIST-degree B-163 at batch 256.
+DEFAULT_CURVE = "B-163"
+DEFAULT_BATCH = 256
+
+#: The asserted floor: plane-resident over per-step on shared CI runners.
+PLANE_FLOOR = 2.0
+
+#: The committed-JSON schema version shared by the BENCH_* trajectory files.
+COMMIT_PR = 5
+
+
+def _best_of(callable_, repeats: int):
+    """(result, best seconds) over ``repeats`` timed calls (first is warm-up)."""
+    result = callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        repeated = callable_()
+        best = min(best, time.perf_counter() - start)
+        if repeated != result:
+            raise AssertionError("batched ladder is not deterministic")
+    return result, best
+
+
+def measure_plane_ladder(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=3, check=4, seed=2018):
+    """One benchmark row: plane vs per-step agreement throughput, parity-checked."""
+    curve = curve_by_name(curve_name)
+    backend = get_backend("bitslice", curve.field)
+    rng = random.Random(seed)
+    bound = curve.order if curve.order is not None else curve.field.order
+    privates = [rng.randrange(1, bound) for _ in range(batch)]
+    peer_privates = [rng.randrange(1, bound) for _ in range(batch)]
+    # Peers via the batched ladder itself (also warms circuit + plane caches).
+    peers = curve.multiply_batch([curve.generator] * batch, peer_privates, backend=backend)
+
+    plane_shared, plane_s = _best_of(
+        lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=True), repeats
+    )
+    steps_shared, steps_s = _best_of(
+        lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=False), repeats
+    )
+    if plane_shared != steps_shared:
+        raise AssertionError("plane-resident and per-step ladders disagree")
+    for index in range(min(check, batch)):
+        if plane_shared[index] != curve.multiply(peers[index], privates[index]):
+            raise AssertionError(f"batched agreement {index} != scalar-ladder reference")
+
+    return {
+        "curve": curve_name,
+        "m": curve.field.m,
+        "batch": batch,
+        "checked_vs_scalar": min(check, batch),
+        "plane_ladders_per_s": batch / plane_s if plane_s > 0 else float("inf"),
+        "steps_ladders_per_s": batch / steps_s if steps_s > 0 else float("inf"),
+        "speedup_plane_vs_steps": steps_s / plane_s if plane_s > 0 else float("inf"),
+    }
+
+
+def report(rows):
+    lines = [f"{'curve':>7s} {'batch':>6s} {'plane':>12s} {'per-step':>12s} {'speedup':>8s}"]
+    for row in rows:
+        lines.append(
+            f"{row['curve']:>7s} {row['batch']:>6d} {row['plane_ladders_per_s']:>10,.0f}/s"
+            f" {row['steps_ladders_per_s']:>10,.0f}/s {row['speedup_plane_vs_steps']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- pytest
+def test_plane_ladder_speedup_b163():
+    """The CI gate: plane-resident ≥2x the per-step path on B-163."""
+    if not numpy_available():  # pragma: no cover - CI installs numpy
+        import pytest
+
+        pytest.skip("numpy not installed; bitslice backend unavailable")
+    row = measure_plane_ladder(batch=128, repeats=2)
+    print("\n" + report([row]))
+    assert row["speedup_plane_vs_steps"] >= PLANE_FLOOR, (
+        f"plane ladder only {row['speedup_plane_vs_steps']:.1f}x over the per-step path"
+    )
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="plane-resident vs per-step batched ladder")
+    parser.add_argument("--curve", default=DEFAULT_CURVE)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="batch 128, 2 repeats (CI smoke)")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the machine-readable report here")
+    args = parser.parse_args(argv)
+    batch = 128 if args.quick else args.batch
+    repeats = 2 if args.quick else args.repeats
+    row = measure_plane_ladder(curve_name=args.curve, batch=batch, repeats=repeats)
+    print(report([row]))
+    if args.json:
+        payload = {
+            "bench": "plane_ladder",
+            "commit_pr": COMMIT_PR,
+            "config": {
+                "curve": args.curve,
+                "batch": batch,
+                "repeats": repeats,
+                "backend": "bitslice",
+                "platform": {
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                },
+            },
+            "results": [row],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    speedup = row["speedup_plane_vs_steps"]
+    if speedup < PLANE_FLOOR:
+        raise SystemExit(
+            f"plane-ladder regression: {speedup:.1f}x < {PLANE_FLOOR:.0f}x over the per-step path"
+        )
+    print(f"ok: plane-resident ladder {speedup:.1f}x over the per-step path (floor {PLANE_FLOOR:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

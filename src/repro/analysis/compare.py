@@ -16,17 +16,22 @@ for free while producing exactly the rows the serial flow always did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
-from ..galois.pentanomials import PAPER_TABLE5_FIELDS, FieldSpec, lookup_field
+from ..galois.pentanomials import PAPER_TABLE5_FIELDS, lookup_field
 from ..multipliers.registry import TABLE5_METHODS
 from ..pipeline.scheduler import run_jobs
-from ..pipeline.store import ArtifactStore
 from ..pipeline.sweep import build_sweep_jobs
-from ..synth.device import ARTIX7, DeviceModel
+from ..synth.device import ARTIX7
 from ..synth.flow import SynthesisOptions
-from ..synth.report import ImplementationResult, format_table
+from ..synth.report import format_table
 from .paper_data import PAPER_TABLE5
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..galois.pentanomials import FieldSpec
+    from ..pipeline.store import ArtifactStore
+    from ..synth.device import DeviceModel
+    from ..synth.report import ImplementationResult
 
 __all__ = ["ComparisonRow", "FieldComparison", "run_comparison", "compare_to_paper", "claims_report"]
 

@@ -16,8 +16,14 @@ the CLI — select a substrate by name instead of hard-coding a call path:
 * ``bitslice`` (:class:`BitsliceBackend`) — the same generated circuit
   lowered to numpy ``uint64`` plane arrays with level-segmented
   gather/scatter evaluation (:class:`BitslicedNetlist`): 64+ batch lanes
-  per word op, ~7× the scalar reference at GF(2^163)/batch-2048.
+  per word op, ~9× the scalar reference at GF(2^163)/batch-2048.
   Requires the optional numpy dependency (``gf2m-repro[bitslice]``).
+  It is also the one backend with the *plane-resident* capability
+  (:mod:`repro.backends.planes`): consumers can pack a batch into a
+  :class:`PlaneVector` once, run whole algorithms — netlist products,
+  :class:`PlaneProgram` linear maps, masked selects — without leaving
+  the plane domain, and unpack once; the batched curve ladder rides on
+  this for ~3× the per-step batch path.
 
 Selection: explicit ``backend=`` arguments (a name or an instance)
 anywhere batch APIs are exposed, the ``--backend`` CLI flag, or the
@@ -35,8 +41,9 @@ True
 """
 
 from .base import BackendCapabilities, FieldBackend, default_method_for
-from .bitslice import BitsliceBackend, BitslicedNetlist, numpy_available
+from .bitslice import BitsliceBackend, BitslicedNetlist, bitsliced_netlist, numpy_available
 from .engine_backend import EngineBackend
+from .planes import PlaneCompute, PlaneProgram, PlaneVector, plane_program
 from .python_int import PythonIntBackend
 from .registry import (
     BACKEND_ENV_VAR,
@@ -54,8 +61,13 @@ __all__ = [
     "default_method_for",
     "BitsliceBackend",
     "BitslicedNetlist",
+    "bitsliced_netlist",
     "numpy_available",
     "EngineBackend",
+    "PlaneCompute",
+    "PlaneProgram",
+    "PlaneVector",
+    "plane_program",
     "PythonIntBackend",
     "BACKEND_ENV_VAR",
     "assert_backend_parity",

@@ -68,11 +68,19 @@ class BackendCapabilities:
     min_efficient_batch:
         The batch size from which the backend typically overtakes the
         scalar reference; below it the ``python`` backend usually wins.
+    plane_resident:
+        Whether the backend can keep whole algorithms in its packed plane
+        representation (:meth:`FieldBackend.plane_compute` returns a
+        :class:`~repro.backends.planes.PlaneCompute`): consumers pack
+        operands once, run every step on planes, and unpack once — the
+        batched Montgomery ladder uses this to skip ~2·m transposes per
+        scalar multiplication.
     """
 
     vectorized: bool
     compiled: bool
     min_efficient_batch: int
+    plane_resident: bool = False
 
 
 class FieldBackend(ABC):
@@ -143,6 +151,17 @@ class FieldBackend(ABC):
             running = multiply(running, values[index])
         inverses[0] = running
         return inverses
+
+    def plane_compute(self):
+        """The backend's plane-resident capability, or ``None`` when absent.
+
+        Backends whose packed representation supports whole plane-resident
+        algorithms (:attr:`BackendCapabilities.plane_resident`) return a
+        :class:`~repro.backends.planes.PlaneCompute`; the scalar and
+        big-integer engine backends report the capability absent and
+        consumers fall back to per-step batch calls.
+        """
+        return None
 
     # ----------------------------------------------------------- introspection
     def describe(self) -> str:

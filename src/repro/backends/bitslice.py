@@ -12,14 +12,19 @@ call versus ~30 ns of actual 32-word work), so the circuit is compiled to
 **level segments**: live nodes are renumbered densely in
 ``(logic level, op)`` order, making every run of same-op gates in one level
 a *contiguous slice* of the value array.  One segment then evaluates as two
-fancy-indexed fanin gathers and a single vectorized ``bitwise_and`` /
-``bitwise_xor`` writing straight into the output slice — a 55k-gate
-GF(2^163) multiplier collapses to ~44 numpy calls per chunk.
+``np.take`` fanin gathers (into reused scratch) and a single vectorized
+``bitwise_and`` / ``bitwise_xor`` writing straight into the output slice —
+and a segment recognized as the full ``a_i x b_j`` partial-product plane
+skips the gathers entirely, evaluating as one broadcast outer product of
+the input plane arrays.  A 55k-gate GF(2^163) multiplier collapses to ~45
+numpy calls per chunk.
 
 Packing reuses the word-level bit-matrix transposes of
 :mod:`repro.engine.bitpack` (rows → plane big-ints) with a zero-copy
 ``int.to_bytes``/``np.frombuffer`` hop between big-int planes and ``uint64``
-lane words.
+lane words.  :meth:`BitslicedNetlist.multiply_planes` skips the transposes
+altogether for callers that already hold plane arrays — the entry point of
+the plane-resident compute layer (:mod:`repro.backends.planes`).
 
 numpy is an *optional* dependency: the module imports without it and every
 entry point raises a clear ``ImportError`` (install ``numpy`` or the
@@ -29,12 +34,13 @@ requested.
 
 from __future__ import annotations
 
-import threading
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.bitpack import pack_rows, unpack_planes
-from ..netlist.netlist import OP_AND, OP_XOR, Netlist
+from ..netlist.netlist import OP_AND, OP_XOR
+from ..pipeline.store import LRUCache
 from .base import BackendCapabilities, FieldBackend, default_method_for
+from .planes import PlaneCompute, _LaneBufferCache, _planes_to_array, lane_words_for
 
 try:  # pragma: no cover - exercised via monkeypatching in the tests
     import numpy as _np
@@ -43,8 +49,9 @@ except ImportError:  # pragma: no cover
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..galois.field import GF2mField
+    from ..netlist.netlist import Netlist
 
-__all__ = ["BitslicedNetlist", "BitsliceBackend", "numpy_available"]
+__all__ = ["BitslicedNetlist", "BitsliceBackend", "bitsliced_netlist", "numpy_available"]
 
 #: Default batch lanes evaluated per numpy pass (64 pairs per uint64 word).
 DEFAULT_LANES = 4096
@@ -91,14 +98,43 @@ class BitslicedNetlist:
                 level[node] = 1 + max(level.get(fanin0, 0), level.get(fanin1, 0))
             else:
                 level[node] = 0
-        # Dense renumbering in (level, op, node) order: every same-op run of
-        # one level becomes a contiguous row range of the value array.
-        ordered = sorted(live, key=lambda node: (level[node], netlist.op(node) == OP_AND, node))
+        # Raster rank of input-fed AND gates: a partial-product plane whose
+        # gates cover the full a_i x b_j grid evaluates as ONE broadcast
+        # outer product instead of two 26k-row gathers — detected per
+        # segment below, enabled by ordering those gates in (i, j) raster.
+        input_bit: Dict[int, Tuple[str, int]] = {}
+        for input_name in netlist.inputs:
+            operand, digits = input_name[:1], input_name[1:]
+            if operand in ("a", "b") and digits.isdigit():
+                input_bit[netlist.input_node(input_name)] = (operand, int(digits))
+        raster: Dict[int, int] = {}
+        for node in live:
+            if netlist.op(node) != OP_AND:
+                continue
+            pair = {}
+            for fanin in netlist.fanins(node):
+                operand_bit = input_bit.get(fanin)
+                if operand_bit is not None:
+                    pair[operand_bit[0]] = operand_bit[1]
+            if len(pair) == 2 and pair["a"] < m and pair["b"] < m:
+                raster[node] = pair["a"] * m + pair["b"]
+
+        # Dense renumbering in (level, op, raster/node) order: every same-op
+        # run of one level becomes a contiguous row range of the value
+        # array, with raster-eligible AND planes in (i, j) order.
+        ordered = sorted(
+            live,
+            key=lambda node: (
+                level[node],
+                netlist.op(node) == OP_AND,
+                (0, raster[node]) if node in raster else (1, node),
+            ),
+        )
         renumber = {node: index for index, node in enumerate(ordered)}
         self.node_count = len(ordered)
         self.level_count = (max(level.values()) + 1) if level else 0
 
-        segments: List[List] = []  # [start, end, fanin0s, fanin1s, is_and]
+        segments: List[List] = []  # [start, end, fanin0s, fanin1s, is_and, ranks]
         current_key: Optional[Tuple[int, int]] = None
         self.and_count = 0
         self.xor_count = 0
@@ -112,17 +148,31 @@ class BitslicedNetlist:
                 self.xor_count += 1
             key = (level[node], op)
             if key != current_key:
-                segments.append([renumber[node], renumber[node], [], [], op == OP_AND])
+                segments.append([renumber[node], renumber[node], [], [], op == OP_AND, []])
                 current_key = key
             segment = segments[-1]
             fanin0, fanin1 = netlist.fanins(node)
             segment[1] = renumber[node] + 1
             segment[2].append(renumber[fanin0])
             segment[3].append(renumber[fanin1])
+            segment[5].append(raster.get(node))
+        # An AND segment that is exactly the full m x m raster (in order, by
+        # the renumbering above) evaluates as one broadcast outer product.
         self._segments = [
-            (start, end, np.asarray(f0, dtype=np.intp), np.asarray(f1, dtype=np.intp), is_and)
-            for start, end, f0, f1, is_and in segments
+            (
+                start,
+                end,
+                np.asarray(f0, dtype=np.intp),
+                np.asarray(f1, dtype=np.intp),
+                is_and,
+                is_and and end - start == m * m and ranks == list(range(m * m)),
+            )
+            for start, end, f0, f1, is_and, ranks in segments
         ]
+        self._max_gather = max(
+            (end - start for start, end, _, _, _, is_outer in self._segments if not is_outer),
+            default=0,
+        )
 
         self._input_rows: List[Tuple[int, int, int]] = []  # (dense row, operand, bit)
         for input_name in netlist.inputs:
@@ -142,42 +192,76 @@ class BitslicedNetlist:
                 raise ValueError(f"netlist is missing output c{k}")
             self._output_rows.append(row)
 
-        #: Value buffers, thread-local and keyed by lane words: backend
+        # Index arrays for the plane-resident entry point: one fancy-indexed
+        # scatter per operand replaces the per-row input writes.
+        a_live = [(row, bit) for row, operand, bit in self._input_rows if operand == 0]
+        b_live = [(row, bit) for row, operand, bit in self._input_rows if operand == 1]
+        self._a_rows = np.asarray([row for row, _ in a_live], dtype=np.intp)
+        self._a_bits = np.asarray([bit for _, bit in a_live], dtype=np.intp)
+        self._b_rows = np.asarray([row for row, _ in b_live], dtype=np.intp)
+        self._b_bits = np.asarray([bit for _, bit in b_live], dtype=np.intp)
+        self._output_row_array = np.asarray(self._output_rows, dtype=np.intp)
+
+        #: (values, gather0, gather1) buffers, thread-local and keyed by lane
+        #: words (:class:`~repro.backends.planes._LaneBufferCache`): backend
         #: instances are shared process-wide through the registry cache, so
         #: concurrent batches must never write into the same array.  Const-0
         #: rows stay zero because only gate rows (segments) and input rows
-        #: are ever written.
-        self._local = threading.local()
+        #: are ever written; the gather scratch lets segments run through
+        #: ``np.take(..., out=...)`` — measurably faster than fancy indexing
+        #: and allocation-free on the hot path.
+        self._buffers = _LaneBufferCache(
+            lambda lane_words: (
+                np.zeros((self.node_count, lane_words), dtype=np.uint64),
+                np.empty((self._max_gather, lane_words), dtype=np.uint64),
+                np.empty((self._max_gather, lane_words), dtype=np.uint64),
+            )
+        )
 
     # --------------------------------------------------------------- evaluate
-    def _buffer(self, lane_words: int):
-        buffers = getattr(self._local, "buffers", None)
-        if buffers is None:
-            buffers = self._local.buffers = {}
-        values = buffers.get(lane_words)
-        if values is None:
-            if len(buffers) >= 4:  # bound memory across odd tail widths
-                buffers.clear()
-            values = _np.zeros((self.node_count, lane_words), dtype=_np.uint64)
-            buffers[lane_words] = values
-        return values
+    def multiply_planes(self, a_planes, b_planes):
+        """Products of two ``(m, lane_words)`` uint64 plane arrays, as planes.
+
+        The plane-resident entry point: no packing, no unpacking — inputs
+        scatter into the value buffer with two fancy-indexed writes, the
+        level segments run as usual, and the output rows gather into a
+        fresh array (never aliasing the reused buffer).  Lane stacking is
+        transparent: any common ``lane_words`` width works.
+        """
+        np = _np
+        if a_planes.shape != b_planes.shape or a_planes.shape[0] != self.m:
+            raise ValueError(
+                f"expected two ({self.m}, lane_words) plane arrays, got "
+                f"{a_planes.shape} and {b_planes.shape}"
+            )
+        values, gather0, gather1 = self._buffers.get(a_planes.shape[1])
+        values[self._a_rows] = a_planes[self._a_bits]
+        values[self._b_rows] = b_planes[self._b_bits]
+        for start, end, fanin0, fanin1, is_and, is_outer in self._segments:
+            if is_outer:
+                np.bitwise_and(
+                    a_planes[:, None, :],
+                    b_planes[None, :, :],
+                    out=values[start:end].reshape(self.m, self.m, -1),
+                )
+                continue
+            count = end - start
+            np.take(values, fanin0, axis=0, out=gather0[:count], mode="clip")
+            np.take(values, fanin1, axis=0, out=gather1[:count], mode="clip")
+            if is_and:
+                np.bitwise_and(gather0[:count], gather1[:count], out=values[start:end])
+            else:
+                np.bitwise_xor(gather0[:count], gather1[:count], out=values[start:end])
+        return values[self._output_row_array]
 
     def _evaluate_chunk(self, a_chunk: Sequence[int], b_chunk: Sequence[int]) -> List[int]:
-        np = _np
         lanes = len(a_chunk)
-        lane_bytes = ((lanes + 63) // 64) * 8
-        a_planes = pack_rows(a_chunk, self.m)
-        b_planes = pack_rows(b_chunk, self.m)
-        planes = (a_planes, b_planes)
-        values = self._buffer(lane_bytes // 8)
-        for row, operand, bit in self._input_rows:
-            values[row] = np.frombuffer(planes[operand][bit].to_bytes(lane_bytes, "little"), dtype="<u8")
-        for start, end, fanin0, fanin1, is_and in self._segments:
-            if is_and:
-                np.bitwise_and(values[fanin0], values[fanin1], out=values[start:end])
-            else:
-                np.bitwise_xor(values[fanin0], values[fanin1], out=values[start:end])
-        product_planes = [int.from_bytes(values[row].tobytes(), "little") for row in self._output_rows]
+        lane_words = lane_words_for(lanes)
+        product = self.multiply_planes(
+            _planes_to_array(pack_rows(a_chunk, self.m), lane_words),
+            _planes_to_array(pack_rows(b_chunk, self.m), lane_words),
+        )
+        product_planes = [int.from_bytes(product[k].tobytes(), "little") for k in range(self.m)]
         return unpack_planes(product_planes, self.m, lanes)
 
     def multiply_batch(
@@ -216,6 +300,31 @@ class BitslicedNetlist:
         )
 
 
+#: Memoized lowerings keyed by ``(netlist name, modulus, m, chunk)`` — the
+#: modulus disambiguates same-degree pentanomials that share a netlist name.
+#: Repeated ``GF2mField``/backend constructions for one field reuse the
+#: segment build instead of re-lowering a 55k-gate netlist.
+_SLICED_CACHE = LRUCache(maxsize=16)
+
+
+def bitsliced_netlist(
+    netlist: Netlist, m: int, chunk_size: int = DEFAULT_LANES, modulus: Optional[int] = None
+) -> BitslicedNetlist:
+    """The memoized :class:`BitslicedNetlist` lowering of a multiplier netlist.
+
+    ``modulus`` qualifies the cache key (netlist names encode method and
+    degree but not the defining polynomial); pass it whenever the netlist
+    came from a field so equal fields share one lowering.  Without a
+    modulus the lowering is built uncached.
+    """
+    if modulus is None:
+        return BitslicedNetlist(netlist, m, chunk_size=chunk_size)
+    key = (netlist.name, modulus, m, chunk_size)
+    return _SLICED_CACHE.get_or_create(
+        key, lambda: BitslicedNetlist(netlist, m, chunk_size=chunk_size)
+    )
+
+
 class BitsliceBackend(FieldBackend):
     """Field backend evaluating the generated multiplier netlist bitsliced.
 
@@ -227,7 +336,9 @@ class BitsliceBackend(FieldBackend):
     """
 
     name = "bitslice"
-    capabilities = BackendCapabilities(vectorized=True, compiled=True, min_efficient_batch=64)
+    capabilities = BackendCapabilities(
+        vectorized=True, compiled=True, min_efficient_batch=64, plane_resident=True
+    )
 
     def __init__(
         self,
@@ -242,16 +353,28 @@ class BitsliceBackend(FieldBackend):
         self.chunk_size = chunk_size
         self.verify = verify
         self._sliced: Optional[BitslicedNetlist] = None
+        self._planes: Optional[PlaneCompute] = None
 
     @property
     def sliced(self) -> BitslicedNetlist:
-        """The compiled bitsliced circuit (built on first use)."""
+        """The compiled bitsliced circuit (memoized process-wide)."""
         if self._sliced is None:
             from ..multipliers.cache import cached_multiplier
 
             multiplier = cached_multiplier(self.method, self.field.modulus, verify=self.verify)
-            self._sliced = BitslicedNetlist(multiplier.netlist, multiplier.m, chunk_size=self.chunk_size)
+            self._sliced = bitsliced_netlist(
+                multiplier.netlist,
+                multiplier.m,
+                chunk_size=self.chunk_size,
+                modulus=self.field.modulus,
+            )
         return self._sliced
+
+    def plane_compute(self) -> PlaneCompute:
+        """The plane-resident capability (see :mod:`repro.backends.planes`)."""
+        if self._planes is None:
+            self._planes = PlaneCompute(self.field, self.sliced)
+        return self._planes
 
     def multiply(self, a: int, b: int) -> int:
         return self.sliced.multiply_batch([a], [b])[0]

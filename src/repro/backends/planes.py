@@ -1,0 +1,410 @@
+"""Plane-resident GF(2^m) compute: values that *live* in uint64 bit planes.
+
+The bitsliced backend (:mod:`repro.backends.bitslice`) made one batched
+multiplication fast, but a consumer like the Montgomery ladder calls it
+``~m`` times per scalar multiplication — and every call pays two full
+bit-matrix transposes (rows → planes, planes → rows) plus per-element
+scalar Python for everything between the multiplications.  This module
+removes the round trips: a batch of field elements is packed into a
+:class:`PlaneVector` **once**, every operation of the consuming algorithm
+runs directly on the ``(m, lane_words)`` ``uint64`` plane representation,
+and rows are unpacked **once** at the end.
+
+Three kinds of operation cover a whole López-Dahab ladder step:
+
+* full products — the bitsliced multiplier netlist evaluated plane-to-plane
+  (:meth:`repro.backends.bitslice.BitslicedNetlist.multiply_planes`), with
+  several independent products lane-stacked into one netlist pass;
+* GF(2)-**linear** maps (squaring, multiplication by a fixed curve
+  constant) — a :class:`~repro.galois.field.GF2LinearMap` is lowered by
+  :class:`PlaneProgram` into level-segmented gather/XOR passes, the same
+  contiguous-slice trick :class:`~repro.backends.bitslice.BitslicedNetlist`
+  uses for the multiplier itself;
+* data movement — XOR of plane vectors and scalar-bit-dependent *selects*
+  driven by a broadcast lane mask, so mixed control bits across one batch
+  never leave the plane domain.
+
+:class:`PlaneCompute` bundles these into the capability object a backend
+advertises through :meth:`repro.backends.base.FieldBackend.plane_compute`;
+the batched curve ladder (:meth:`repro.curves.point.BinaryCurve
+.multiply_batch`) detects it and keeps all ``~m`` steps plane-resident.
+
+Compiled :class:`PlaneProgram` s are memoized process-wide (keyed by the
+map's basis images), mirroring the multiplier cache, so repeated field or
+curve constructions never re-lower a linear map.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+from ..engine.bitpack import pack_rows, unpack_planes
+from ..pipeline.store import LRUCache
+
+try:  # pragma: no cover - exercised via monkeypatching in the tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..galois.field import GF2LinearMap, GF2mField
+    from .bitslice import BitslicedNetlist
+
+__all__ = ["PlaneVector", "PlaneProgram", "PlaneCompute", "plane_program"]
+
+
+def _require_numpy():
+    if _np is None:
+        raise ImportError(
+            "plane-resident compute needs numpy, which is not installed; "
+            "run 'pip install numpy' (or install the gf2m-repro[bitslice] extra)"
+        )
+    return _np
+
+
+def lane_words_for(lanes: int) -> int:
+    """uint64 words per plane for a batch of ``lanes`` elements (min 1)."""
+    return max(1, (lanes + 63) // 64)
+
+
+def _planes_to_array(planes: Sequence[int], lane_words: int):
+    """Big-integer planes → a ``(len(planes), lane_words)`` uint64 array."""
+    lane_bytes = lane_words * 8
+    buffer = b"".join(plane.to_bytes(lane_bytes, "little") for plane in planes)
+    return _np.frombuffer(buffer, dtype="<u8").reshape(len(planes), lane_words)
+
+
+def _array_to_planes(array) -> List[int]:
+    """The inverse of :func:`_planes_to_array` (rows back to big integers)."""
+    return [int.from_bytes(_np.ascontiguousarray(row).tobytes(), "little") for row in array]
+
+
+class _LaneBufferCache:
+    """Thread-local per-lane-width buffer pool, bounded to four widths.
+
+    Shared by :class:`PlaneProgram` and
+    :class:`~repro.backends.bitslice.BitslicedNetlist`: compiled evaluators
+    are cached process-wide and used from multiple threads, so each thread
+    gets its own buffers, keyed by lane width and evicted wholesale once
+    odd tail widths would accumulate.
+    """
+
+    __slots__ = ("_factory", "_local")
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._local = threading.local()
+
+    def get(self, lane_words: int):
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = self._local.buffers = {}
+        entry = buffers.get(lane_words)
+        if entry is None:
+            if len(buffers) >= 4:
+                buffers.clear()
+            entry = self._factory(lane_words)
+            buffers[lane_words] = entry
+        return entry
+
+
+@dataclass(frozen=True)
+class PlaneVector:
+    """A batch of GF(2^m) elements resident in uint64 bit planes.
+
+    ``array`` has shape ``(m, lane_words)``: bit ``p`` of row ``i`` is
+    coordinate ``a_i`` of batch element ``p``.  ``lanes`` is the live batch
+    size; lane bits at positions ``lanes`` and above are dead (kept zero by
+    :meth:`PlaneCompute.pack`, ignored by :meth:`PlaneCompute.unpack`).
+    The wrapper is immutable — operations return fresh vectors, so a
+    :class:`PlaneVector` can be reused freely across ladder steps.
+    """
+
+    array: "object"  # numpy (m, lane_words) uint64; untyped to keep numpy optional
+    lanes: int
+
+    @property
+    def m(self) -> int:
+        """Coordinate count (rows of the plane array)."""
+        return self.array.shape[0]
+
+    @property
+    def lane_words(self) -> int:
+        """uint64 words per plane (columns of the array)."""
+        return self.array.shape[1]
+
+    def copy(self) -> "PlaneVector":
+        """An independent copy (same values, fresh storage)."""
+        return PlaneVector(self.array.copy(), self.lanes)
+
+
+class PlaneProgram:
+    """A GF(2)-linear map compiled to level-segmented plane gather/XOR passes.
+
+    The map sends basis vector ``y^i`` to ``masks[i]``; on plane arrays that
+    means output row ``j`` is the XOR of every input row ``i`` whose mask has
+    bit ``j`` set.  Each output's XOR tree is balanced, all tree gates are
+    renumbered densely in level order (the contiguous-slice trick of
+    :class:`~repro.backends.bitslice.BitslicedNetlist`), and one level then
+    evaluates as two fancy-indexed gathers plus a single vectorized
+    ``bitwise_xor`` into the output slice.  Outputs that copy a single input
+    row or are identically zero cost nothing beyond the final output gather.
+
+    Work buffers are thread-local per lane width, so cached programs shared
+    across threads never corrupt each other.
+    """
+
+    def __init__(self, masks: Sequence[int], out_bits: Optional[int] = None) -> None:
+        np = _require_numpy()
+        self.input_bits = len(masks)
+        self.out_bits = self.input_bits if out_bits is None else out_bits
+        if any(mask >> self.out_bits for mask in masks):
+            raise ValueError(f"a basis image exceeds the {self.out_bits}-bit output space")
+
+        # refs are (row-kind, index, level): inputs at level 0, gates above.
+        gates: List[Tuple[int, Tuple, Tuple]] = []  # (level, fanin_ref, fanin_ref)
+        output_refs: List[Optional[Tuple]] = []
+        for j in range(self.out_bits):
+            refs = [("in", i, 0) for i in range(self.input_bits) if (masks[i] >> j) & 1]
+            if not refs:
+                output_refs.append(None)
+                continue
+            while len(refs) > 1:
+                reduced = []
+                for k in range(0, len(refs) - 1, 2):
+                    left, right = refs[k], refs[k + 1]
+                    level = 1 + max(left[2], right[2])
+                    gates.append((level, left, right))
+                    reduced.append(("gate", len(gates) - 1, level))
+                if len(refs) % 2:
+                    reduced.append(refs[-1])
+                refs = reduced
+            output_refs.append(refs[0])
+
+        # Dense renumbering: input rows first, then gates sorted by level so
+        # each level is one contiguous slice; one reserved all-zero row last.
+        order = sorted(range(len(gates)), key=lambda g: gates[g][0])
+        gate_row = {g: self.input_bits + position for position, g in enumerate(order)}
+        self.row_count = self.input_bits + len(gates) + 1
+        self._zero_row = self.row_count - 1
+
+        def row_of(ref: Optional[Tuple]) -> int:
+            if ref is None:
+                return self._zero_row
+            kind, index, _ = ref
+            return index if kind == "in" else gate_row[index]
+
+        segments: List[List] = []  # [start, end, fanin0 rows, fanin1 rows]
+        current_level = None
+        for g in order:
+            level, left, right = gates[g]
+            if level != current_level:
+                segments.append([gate_row[g], gate_row[g], [], []])
+                current_level = level
+            segment = segments[-1]
+            segment[1] = gate_row[g] + 1
+            segment[2].append(row_of(left))
+            segment[3].append(row_of(right))
+        self._segments = [
+            (start, end, np.asarray(f0, dtype=np.intp), np.asarray(f1, dtype=np.intp))
+            for start, end, f0, f1 in segments
+        ]
+        self._output_rows = np.asarray([row_of(ref) for ref in output_refs], dtype=np.intp)
+        self.xor_count = len(gates)
+        self.level_count = len(self._segments)
+        max_gather = max((end - start for start, end, _, _ in self._segments), default=0)
+        # Work buffer zero-initialized so the reserved zero row stays zero
+        # (inputs and gate slices are fully overwritten on every apply, the
+        # zero row never); gather scratch for allocation-free np.take.
+        self._buffers = _LaneBufferCache(
+            lambda lane_words: (
+                _np.zeros((self.row_count, lane_words), dtype=_np.uint64),
+                _np.empty((max_gather, lane_words), dtype=_np.uint64),
+                _np.empty((max_gather, lane_words), dtype=_np.uint64),
+            )
+        )
+
+    def apply(self, planes):
+        """Apply the map to an ``(input_bits, lane_words)`` plane array.
+
+        Returns a fresh ``(out_bits, lane_words)`` array (the final output
+        gather never aliases the reused work buffer).
+        """
+        np = _np
+        if planes.shape[0] != self.input_bits:
+            raise ValueError(
+                f"expected {self.input_bits} input planes, got {planes.shape[0]}"
+            )
+        work, gather0, gather1 = self._buffers.get(planes.shape[1])
+        work[: self.input_bits] = planes
+        for start, end, fanin0, fanin1 in self._segments:
+            count = end - start
+            np.take(work, fanin0, axis=0, out=gather0[:count], mode="clip")
+            np.take(work, fanin1, axis=0, out=gather1[:count], mode="clip")
+            np.bitwise_xor(gather0[:count], gather1[:count], out=work[start:end])
+        return work[self._output_rows]
+
+    def describe(self) -> str:
+        """One-line structural summary."""
+        return (
+            f"plane program {self.input_bits}->{self.out_bits} bits: "
+            f"{self.xor_count} XOR in {self.level_count} levels"
+        )
+
+
+#: Compiled plane programs keyed by the map's basis images — repeated field
+#: or curve constructions for the same modulus share one lowering.
+_PROGRAM_CACHE = LRUCache(maxsize=64)
+
+
+def plane_program(linear_map: "GF2LinearMap") -> PlaneProgram:
+    """The memoized :class:`PlaneProgram` lowering of a ``GF2LinearMap``."""
+    key = (linear_map.input_bits, linear_map.masks)
+    return _PROGRAM_CACHE.get_or_create(key, lambda: PlaneProgram(linear_map.masks))
+
+
+class PlaneCompute:
+    """The plane-resident capability of a bitsliced backend.
+
+    Bound to one field and its compiled multiplier
+    (:class:`~repro.backends.bitslice.BitslicedNetlist`); exposes exactly
+    the operations a consumer needs to keep a whole algorithm in the plane
+    domain: :meth:`pack` / :meth:`unpack` at the boundary,
+    :meth:`multiply_planes` for full products, :meth:`apply_linear_planes`
+    for squarings and constant multiplications, and :meth:`xor_planes` /
+    :meth:`select_planes` / :meth:`broadcast_bits` for everything between.
+
+    Independent products of the same batch can be lane-stacked: passing
+    sequences to :meth:`multiply_planes` evaluates the netlist once over
+    the concatenated lane words instead of once per product.
+    """
+
+    def __init__(self, field: "GF2mField", sliced: "BitslicedNetlist") -> None:
+        _require_numpy()
+        self.field = field
+        self.sliced = sliced
+        self.m = sliced.m
+        # Programs keyed by map identity; the strong reference to the map
+        # keeps id() stable for the cache's lifetime.
+        self._programs: dict = {}
+
+    # ------------------------------------------------------------- boundary
+    def pack(self, values: Sequence[int]) -> PlaneVector:
+        """Pack validated field elements into a :class:`PlaneVector` (once)."""
+        lanes = len(values)
+        mask = (1 << self.m) - 1
+        planes = pack_rows([value & mask for value in values], self.m)
+        return PlaneVector(_planes_to_array(planes, lane_words_for(lanes)), lanes)
+
+    def unpack(self, vector: PlaneVector) -> List[int]:
+        """Unpack a :class:`PlaneVector` back into field elements (once)."""
+        return unpack_planes(_array_to_planes(vector.array), self.m, vector.lanes)
+
+    # ------------------------------------------------------------ operations
+    def multiply_planes(
+        self,
+        a: Union[PlaneVector, Sequence[PlaneVector]],
+        b: Union[PlaneVector, Sequence[PlaneVector]],
+    ) -> Union[PlaneVector, List[PlaneVector]]:
+        """Full products entirely in the plane domain.
+
+        With two :class:`PlaneVector` s, one netlist evaluation returns their
+        elementwise product.  With two equal-length sequences, the operands
+        are lane-stacked and **all** products come out of a single netlist
+        evaluation — the per-step ladder multiplications cost two passes
+        total instead of one per product.  Every operand pair must share
+        its lane layout; a mismatch raises instead of slicing products at
+        the wrong word offsets.
+        """
+        if isinstance(a, PlaneVector):
+            if not isinstance(b, PlaneVector):
+                raise TypeError("multiply_planes needs two vectors or two sequences")
+            self._check_pair(a, b, "multiply_planes")
+            return PlaneVector(self.sliced.multiply_planes(a.array, b.array), a.lanes)
+        a_list, b_list = list(a), list(b)
+        if len(a_list) != len(b_list):
+            raise ValueError(f"operand counts differ: {len(a_list)} vs {len(b_list)}")
+        if not a_list:
+            return []
+        for pair in zip(a_list, b_list):
+            self._check_pair(*pair, "multiply_planes")
+        if len(a_list) == 1:
+            return [self.multiply_planes(a_list[0], b_list[0])]
+        np = _np
+        stacked = self.sliced.multiply_planes(
+            np.concatenate([vector.array for vector in a_list], axis=1),
+            np.concatenate([vector.array for vector in b_list], axis=1),
+        )
+        products: List[PlaneVector] = []
+        offset = 0
+        for vector in a_list:
+            width = vector.lane_words
+            products.append(PlaneVector(stacked[:, offset:offset + width], vector.lanes))
+            offset += width
+        return products
+
+    def apply_linear_planes(self, linear_map: "GF2LinearMap", vector: PlaneVector) -> PlaneVector:
+        """Apply a GF(2)-linear map (squaring, constant multiply) on planes."""
+        entry = self._programs.get(id(linear_map))
+        if entry is None or entry[0] is not linear_map:
+            entry = (linear_map, plane_program(linear_map))
+            self._programs[id(linear_map)] = entry
+        return PlaneVector(entry[1].apply(vector.array), vector.lanes)
+
+    @staticmethod
+    def _check_pair(a: PlaneVector, b: PlaneVector, operation: str) -> None:
+        if a.array.shape != b.array.shape or a.lanes != b.lanes:
+            raise ValueError(
+                f"{operation} needs vectors of one batch: "
+                f"{a.lanes} lanes {a.array.shape} vs {b.lanes} lanes {b.array.shape}"
+            )
+
+    def xor_planes(self, a: PlaneVector, b: PlaneVector) -> PlaneVector:
+        """Elementwise field addition (plane XOR)."""
+        self._check_pair(a, b, "xor_planes")
+        return PlaneVector(_np.bitwise_xor(a.array, b.array), a.lanes)
+
+    def broadcast_bits(self, bits: Sequence[int]):
+        """Pack one control bit per lane into a broadcastable lane-word mask.
+
+        Bit ``p`` of the result is ``bits[p] & 1``; dead lanes stay zero.
+        The returned ``(lane_words,)`` array broadcasts over the ``m`` rows
+        of a plane array, so one mask drives a whole :meth:`select_planes`.
+        """
+        packed = 0
+        for position, bit in enumerate(bits):
+            if bit & 1:
+                packed |= 1 << position
+        lane_words = lane_words_for(len(bits))
+        return _np.frombuffer(packed.to_bytes(lane_words * 8, "little"), dtype="<u8")
+
+    def select_planes(self, mask, when_set: PlaneVector, when_clear: PlaneVector) -> PlaneVector:
+        """Per-lane select: ``when_set`` where the mask bit is 1, else ``when_clear``.
+
+        This is how scalar-bit-dependent ladder swaps stay in the plane
+        domain with mixed control bits across the batch — no unpacking, no
+        per-lane branches.  The mask must cover the vectors' lane words
+        exactly (one bit per lane, as built by :meth:`broadcast_bits` for
+        the same batch size); a narrower mask would silently broadcast
+        lane 0-63 control bits over every word, so it is rejected.
+        """
+        np = _np
+        self._check_pair(when_set, when_clear, "select_planes")
+        if mask.shape != (when_set.lane_words,):
+            raise ValueError(
+                f"mask shape {mask.shape} does not cover {when_set.lane_words} lane words; "
+                "build it with broadcast_bits over the same batch"
+            )
+        return PlaneVector(
+            np.bitwise_or(
+                np.bitwise_and(when_set.array, mask),
+                np.bitwise_and(when_clear.array, np.bitwise_not(mask)),
+            ),
+            when_set.lanes,
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and benchmarks."""
+        return f"plane-resident compute on {self.sliced.describe()}"

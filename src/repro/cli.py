@@ -16,6 +16,8 @@ Subcommands
                 parallel pipeline with the persistent artifact store
 ``curves``      list the elliptic-curve catalog (NIST-degree K/B curves)
 ``ecdh``        run the batched ECDH workload on one curve and report ops/s
+                (``--ladder planes|steps|auto`` picks the plane-resident or
+                per-step batched-ladder path)
 
 ``batch``, ``bench``, ``ecdh`` and ``sweep`` accept ``--backend``
 (``python`` | ``engine`` | ``bitslice``, see :mod:`repro.backends`); the
@@ -186,6 +188,13 @@ def build_parser() -> argparse.ArgumentParser:
     ecdh = subparsers.add_parser("ecdh", help="batched ECDH key agreement workload on one curve")
     ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
     add_backend_argument(ecdh)
+    ecdh.add_argument(
+        "--ladder",
+        choices=["auto", "planes", "steps"],
+        default="auto",
+        help="batched-ladder path: 'planes' demands the plane-resident capability, 'steps' pins "
+        "the per-step batch path, 'auto' (default) uses planes when the backend supports it",
+    )
     ecdh.add_argument("--batch", type=int, default=64, help="independent key agreements per side (default 64)")
     ecdh.add_argument("--jobs", type=int, default=1, help="worker processes sharding the batch (default 1)")
     ecdh.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
@@ -370,34 +379,36 @@ def _run_bench(args) -> int:
 def _ecdh_shard(payload) -> List[tuple]:
     """Worker for ``repro ecdh --jobs``: one shard of the agreement batch.
 
-    Takes plain picklable data (curve name, backend name, scalars, peer
-    coordinates) and returns coordinate tuples so shards compose
-    deterministically.  Under the ``fork`` start method the child inherits
-    the parent's warm engine/backend and curve caches, so no per-worker
-    recompilation happens.
+    Takes plain picklable data (curve name, backend name, ladder path,
+    scalars, peer coordinates) and returns coordinate tuples so shards
+    compose deterministically.  Under the ``fork`` start method the child
+    inherits the parent's warm engine/backend and curve caches, so no
+    per-worker recompilation happens.
     """
-    curve_name, backend, privates, peer_coords = payload
+    curve_name, backend, plane_resident, privates, peer_coords = payload
     curve = curve_by_name(curve_name)
     peers = [curve.point(x, y, check=False) for x, y in peer_coords]
-    return [(point.x, point.y) for point in ecdh_batch(curve, privates, peers, backend=backend)]
+    points = ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
+    return [(point.x, point.y) for point in points]
 
 
-def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None) -> List:
+def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None, plane_resident=None) -> List:
     """The batch of shared points, optionally sharded over worker processes."""
     if jobs <= 1 or len(privates) < 2:
-        return ecdh_batch(curve, privates, peers, backend=backend)
+        return ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
     if "fork" not in multiprocessing.get_all_start_methods():
         print("note: no fork start method on this platform; running --jobs 1", file=sys.stderr)
-        return ecdh_batch(curve, privates, peers, backend=backend)
+        return ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
     jobs = min(jobs, len(privates))
     chunk = (len(privates) + jobs - 1) // jobs
     payloads = [
         (
             curve.name,
             backend,
+            plane_resident,
             list(privates[start:start + chunk]),
             [(point.x, point.y) for point in peers[start:start + chunk]],
         )
@@ -419,22 +430,42 @@ def _run_ecdh(args) -> int:
     if args.check < 0:
         raise SystemExit("--check must be non-negative")
     # Resolve eagerly so a bad backend (or missing numpy) fails before work.
-    _resolve_cli_backend(curve.field, args.backend)
+    resolved = _resolve_cli_backend(curve.field, args.backend)
+    plane_resident = {"auto": None, "planes": True, "steps": False}[args.ladder]
+    if plane_resident and resolved.plane_compute() is None:
+        raise SystemExit(
+            f"--ladder planes needs a plane-resident backend; {resolved.name!r} has no such "
+            "capability (use --backend bitslice)"
+        )
     print(curve.describe())
 
     start = time.perf_counter()
-    alice = keygen_batch(curve, args.batch, seed=args.seed, backend=args.backend)
-    bob = keygen_batch(curve, args.batch, seed=args.seed + 1, backend=args.backend)
+    alice = keygen_batch(
+        curve, args.batch, seed=args.seed, backend=args.backend, plane_resident=plane_resident
+    )
+    bob = keygen_batch(
+        curve, args.batch, seed=args.seed + 1, backend=args.backend, plane_resident=plane_resident
+    )
     keygen_s = time.perf_counter() - start
 
     alice_privates = [pair.private for pair in alice]
     bob_privates = [pair.private for pair in bob]
     start = time.perf_counter()
     alice_shared = _ecdh_agreements(
-        curve, alice_privates, [pair.public for pair in bob], args.jobs, backend=args.backend
+        curve,
+        alice_privates,
+        [pair.public for pair in bob],
+        args.jobs,
+        backend=args.backend,
+        plane_resident=plane_resident,
     )
     bob_shared = _ecdh_agreements(
-        curve, bob_privates, [pair.public for pair in alice], args.jobs, backend=args.backend
+        curve,
+        bob_privates,
+        [pair.public for pair in alice],
+        args.jobs,
+        backend=args.backend,
+        plane_resident=plane_resident,
     )
     agree_s = time.perf_counter() - start
 
@@ -452,8 +483,12 @@ def _run_ecdh(args) -> int:
     keygen_rate = 2 * args.batch / keygen_s if keygen_s > 0 else float("inf")
     agree_rate = ladders / agree_s if agree_s > 0 else float("inf")
     backend_label = args.backend or default_backend_name(curve.field)
+    if plane_resident is False or resolved.plane_compute() is None:
+        ladder_label = "per-step ladder"
+    else:
+        ladder_label = "plane-resident ladder"
     print(
-        f"batch {args.batch}, jobs {args.jobs}, backend {backend_label}: "
+        f"batch {args.batch}, jobs {args.jobs}, backend {backend_label} ({ladder_label}): "
         f"all {args.batch} shared secrets agree"
     )
     print(f"  keygen     {2 * args.batch:>6d} ladders in {keygen_s * 1000:>8.1f} ms ({keygen_rate:,.1f} ops/s)")

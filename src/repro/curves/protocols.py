@@ -22,9 +22,11 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
-from .point import BinaryCurve, Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .point import BinaryCurve, Point
 
 __all__ = [
     "KeyPair",
@@ -87,14 +89,17 @@ def keygen_batch(
     seed: Optional[int] = None,
     batched: bool = True,
     backend=None,
+    plane_resident: Optional[bool] = None,
 ) -> List[KeyPair]:
     """Generate ``count`` key pairs, deriving the public points in one batch.
 
     ``seed`` (or an explicit ``rng``) makes the draw reproducible.
     ``backend`` selects the execution substrate of the batched ladder
-    (:mod:`repro.backends`; results are byte-identical across backends).
-    With ``batched=False`` each public point is computed by the scalar
-    ladder instead — the reference path the batch is checked against.
+    (:mod:`repro.backends`; results are byte-identical across backends) and
+    ``plane_resident`` forces or pins its ladder path (see
+    :meth:`~repro.curves.point.BinaryCurve.multiply_batch`).  With
+    ``batched=False`` each public point is computed by the scalar ladder
+    instead — the reference path the batch is checked against.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
@@ -104,7 +109,9 @@ def keygen_batch(
     privates = [rng.randrange(1, bound) for _ in range(count)]
     generator = curve.generator
     if batched:
-        publics = curve.multiply_batch([generator] * count, privates, backend=backend)
+        publics = curve.multiply_batch(
+            [generator] * count, privates, backend=backend, plane_resident=plane_resident
+        )
     else:
         publics = [curve.multiply(generator, private) for private in privates]
     return [KeyPair(private, public) for private, public in zip(privates, publics)]
@@ -124,13 +131,18 @@ def ecdh_batch(
     *,
     batched: bool = True,
     backend=None,
+    plane_resident: Optional[bool] = None,
 ) -> List[Point]:
     """Shared points for many independent ``(private, peer)`` pairs.
 
     The batched path routes every ladder step through one execution
     backend (:mod:`repro.backends`; the compiled engine by default,
-    selectable via ``backend``); ``batched=False`` is the scalar
-    reference.  All paths return byte-identical points.
+    selectable via ``backend``).  A plane-resident backend (``bitslice``)
+    keeps all ladder steps in its packed plane domain; ``plane_resident``
+    forces or pins that path (see
+    :meth:`~repro.curves.point.BinaryCurve.multiply_batch`).
+    ``batched=False`` is the scalar reference.  All paths return
+    byte-identical points.
     """
     if len(privates) != len(peer_publics):
         raise ValueError(
@@ -142,7 +154,9 @@ def ecdh_batch(
         if peer.is_infinity:
             raise ValueError("a peer public key is the point at infinity")
     if batched:
-        return curve.multiply_batch(list(peer_publics), list(privates), backend=backend)
+        return curve.multiply_batch(
+            list(peer_publics), list(privates), backend=backend, plane_resident=plane_resident
+        )
     return [curve.multiply(peer, private) for private, peer in zip(privates, peer_publics)]
 
 

@@ -30,9 +30,12 @@ as many operand pairs as the words are wide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
-from ..netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from ..netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
 
 __all__ = ["CompiledNetlist", "compile_netlist"]
 

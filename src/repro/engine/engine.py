@@ -31,13 +31,16 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..multipliers.cache import cached_multiplier
-from ..netlist.netlist import Netlist
 from ..pipeline.store import LRUCache
 from .bitpack import pack_rows, unpack_planes
-from .compiler import CompiledNetlist, compile_netlist
+from .compiler import compile_netlist
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .compiler import CompiledNetlist
 
 __all__ = ["Engine", "engine_for", "engine_for_netlist"]
 

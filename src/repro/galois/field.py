@@ -52,11 +52,17 @@ class GF2LinearMap:
     application costs ``ceil(m / 8)`` table lookups and XORs — for the
     NIST-size fields that is 20-70 word operations instead of a full
     carry-less product and reduction.
+
+    The defining images stay available as :attr:`masks` so other execution
+    substrates can re-lower the same map — the plane-resident backend
+    compiles them into gather/XOR passes over uint64 bit planes
+    (:class:`repro.backends.planes.PlaneProgram`).
     """
 
-    __slots__ = ("tables", "input_bits")
+    __slots__ = ("tables", "input_bits", "masks")
 
     def __init__(self, masks: Sequence[int]) -> None:
+        self.masks = tuple(masks)
         self.input_bits = len(masks)
         tables: List[List[int]] = []
         for start in range(0, len(masks), 8):
@@ -306,6 +312,20 @@ class GF2mField:
         """
         return GF2LinearMap(self._basis_images(self._check(c), 1))
 
+    @property
+    def square_map(self) -> GF2LinearMap:
+        """The squaring map ``y^i -> y^(2i) mod f`` as a :class:`GF2LinearMap`.
+
+        Built lazily and cached per field; :meth:`square` applies it one
+        element at a time, while plane-resident backends re-lower its
+        :attr:`~GF2LinearMap.masks` into batched plane programs.
+        """
+        square_map = self._square_map
+        if square_map is None:
+            square_map = self.linear_map(self._basis_images(1, 2))
+            self._square_map = square_map
+        return square_map
+
     def square(self, a: int) -> int:
         """Field squaring via a precomputed sparse linear map.
 
@@ -316,11 +336,7 @@ class GF2mField:
         :meth:`multiply` pays; the agreement with ``multiply(a, a)`` is
         pinned down by the property tests.
         """
-        square_map = self._square_map
-        if square_map is None:
-            square_map = self.linear_map(self._basis_images(1, 2))
-            self._square_map = square_map
-        return square_map(self._check(a))
+        return self.square_map(self._check(a))
 
     def sqrt(self, a: int) -> int:
         """The unique square root ``a^(2^(m-1))`` (Frobenius is bijective)."""

@@ -18,15 +18,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, TYPE_CHECKING
 
 from ..galois.gf2poly import degree, poly_to_string
 from ..netlist.netlist import Netlist
-from ..netlist.stats import NetlistStats, gather_stats
+from ..netlist.stats import gather_stats
 from ..netlist.verify import verify_netlist
 from ..spec.product_spec import ProductSpec
-from ..spec.splitting import SplitTerm
-from ..spec.terms import Atom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.stats import NetlistStats
+    from ..spec.splitting import SplitTerm
+    from ..spec.terms import Atom
 
 __all__ = ["GeneratedMultiplier", "MultiplierGenerator", "OperandNodes"]
 

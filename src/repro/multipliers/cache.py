@@ -22,7 +22,11 @@ from __future__ import annotations
 
 import threading
 
-from ..pipeline.store import CacheInfo, LRUCache
+from ..pipeline.store import LRUCache
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pipeline.store import CacheInfo
 
 __all__ = [
     "MultiplierCache",

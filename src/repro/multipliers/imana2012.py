@@ -15,13 +15,16 @@ reports.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, TYPE_CHECKING
 
 from ..galois.gf2poly import degree
-from ..netlist.netlist import Netlist
 from ..spec.reduction import st_coefficients
 from ..spec.siti import st_functions
-from .base import MultiplierGenerator, OperandNodes
+from .base import MultiplierGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .base import OperandNodes
 
 __all__ = ["Imana2012Multiplier"]
 

@@ -18,11 +18,15 @@ prevent the synthesis tool from finding a better LUT mapping.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, TYPE_CHECKING
 
-from ..netlist.netlist import Netlist
-from ..spec.parenthesize import PairTree, parenthesized_coefficients
-from .base import MultiplierGenerator, OperandNodes
+from ..spec.parenthesize import parenthesized_coefficients
+from .base import MultiplierGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from ..spec.parenthesize import PairTree
+    from .base import OperandNodes
 
 __all__ = ["Imana2016Multiplier"]
 

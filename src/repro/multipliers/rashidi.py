@@ -20,13 +20,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List
+from typing import List, TYPE_CHECKING
 
 from ..galois.gf2poly import degree
 from ..galois.matrices import reduction_matrix
-from ..netlist.netlist import Netlist
 from ..spec.siti import convolution_pairs
-from .base import MultiplierGenerator, OperandNodes
+from .base import MultiplierGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .base import OperandNodes
 
 __all__ = ["RashidiMultiplier"]
 

@@ -7,9 +7,8 @@ verbatim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, TYPE_CHECKING, Type
 
-from .base import GeneratedMultiplier, MultiplierGenerator
 from .imana2012 import Imana2012Multiplier
 from .imana2016 import Imana2016Multiplier
 from .paar import PaarMultiplier
@@ -18,6 +17,9 @@ from .reyhani_hasan import ReyhaniHasanMultiplier
 from .rodriguez_koc import RodriguezKocMultiplier
 from .schoolbook import SchoolbookMultiplier
 from .thiswork import ThisWorkMultiplier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import GeneratedMultiplier, MultiplierGenerator
 
 __all__ = [
     "ALL_GENERATORS",

@@ -14,9 +14,13 @@ from __future__ import annotations
 
 from ..galois.gf2poly import degree
 from ..galois.matrices import reduction_matrix
-from ..netlist.netlist import Netlist
 from ..spec.siti import convolution_pairs
-from .base import MultiplierGenerator, OperandNodes
+from .base import MultiplierGenerator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .base import OperandNodes
 
 __all__ = ["ReyhaniHasanMultiplier"]
 

@@ -16,14 +16,17 @@ it requires a type II pentanomial modulus.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, TYPE_CHECKING, Tuple
 
 from ..galois.gf2poly import degree
 from ..galois.matrices import reduction_matrix
-from ..netlist.netlist import Netlist
 from ..spec.siti import convolution_pairs
 from ..galois.pentanomials import type_ii_parameters
-from .base import MultiplierGenerator, OperandNodes
+from .base import MultiplierGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .base import OperandNodes
 
 __all__ = ["RodriguezKocMultiplier"]
 

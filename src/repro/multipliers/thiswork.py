@@ -18,11 +18,14 @@ the final structure.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, TYPE_CHECKING
 
-from ..netlist.netlist import Netlist
 from ..spec.reduction import split_coefficients
-from .base import MultiplierGenerator, OperandNodes
+from .base import MultiplierGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
+    from .base import OperandNodes
 
 __all__ = ["ThisWorkMultiplier"]
 

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
-from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .netlist import Netlist
 
 __all__ = ["to_dot"]
 

@@ -18,9 +18,12 @@ conveniences below already route through a cached engine.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, TYPE_CHECKING
 
-from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .netlist import Netlist
 
 __all__ = ["simulate", "simulate_words", "multiply_with_netlist", "multiply_words"]
 

@@ -9,9 +9,12 @@ the parenthesized GF(2^8) multiplier of ref [7].
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, TYPE_CHECKING
 
-from .netlist import OP_AND, OP_XOR, Netlist
+from .netlist import OP_AND, OP_XOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .netlist import Netlist
 
 __all__ = ["NetlistStats", "gather_stats"]
 

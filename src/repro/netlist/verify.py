@@ -20,14 +20,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, TYPE_CHECKING, Tuple
 
 from ..galois.field import GF2mField
 from ..galois.gf2poly import degree
-from ..spec.product_spec import ProductSpec
-from ..spec.terms import Pair
-from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from .netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR
 from .simulate import simulate_words
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spec.product_spec import ProductSpec
+    from ..spec.terms import Pair
+    from .netlist import Netlist
 
 __all__ = [
     "UnsupportedStructureError",

@@ -21,14 +21,17 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..galois.pentanomials import type_ii_pentanomial
-from ..synth.device import ARTIX7, DeviceModel
+from ..synth.device import ARTIX7
 from ..synth.flow import SynthesisOptions
 from ..synth.report import ImplementationResult
 from .stages import run_stages
 from .store import ArtifactStore, canonical_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synth.device import DeviceModel
 
 __all__ = ["SweepJob", "JobOutcome", "artifact_key", "execute_job", "run_jobs"]
 

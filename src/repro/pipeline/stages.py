@@ -16,11 +16,15 @@ instead of producing a partial artifact.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING, Tuple
 
 from ..synth import flow as _flow
-from ..synth.device import ARTIX7, DeviceModel
-from ..synth.flow import FlowArtifacts, SynthesisOptions
+from ..synth.device import ARTIX7
+from ..synth.flow import SynthesisOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synth.device import DeviceModel
+    from ..synth.flow import FlowArtifacts
 
 __all__ = ["Stage", "StageError", "PIPELINE_STAGES", "StageTrace", "run_stages"]
 

@@ -15,15 +15,19 @@ import io
 import json
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..galois.pentanomials import PAPER_TABLE5_FIELDS, lookup_field
 from ..multipliers.registry import TABLE5_METHODS, available_methods
-from ..synth.device import ARTIX7, DeviceModel
+from ..synth.device import ARTIX7
 from ..synth.flow import SynthesisOptions
 from ..synth.report import format_table
-from .scheduler import JobOutcome, SweepJob, outcome_rows, run_jobs
-from .store import ArtifactStore
+from .scheduler import SweepJob, outcome_rows, run_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synth.device import DeviceModel
+    from .scheduler import JobOutcome
+    from .store import ArtifactStore
 
 __all__ = ["SweepResult", "build_sweep_jobs", "run_sweep", "format_sweep"]
 

@@ -24,11 +24,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, TYPE_CHECKING, Tuple
 
 from ..galois.gf2poly import degree
-from .reduction import SplitCoefficient, split_coefficients
-from .splitting import SplitTerm
+from .reduction import split_coefficients
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .reduction import SplitCoefficient
+    from .splitting import SplitTerm
 
 __all__ = ["PairTree", "parenthesize_coefficient", "parenthesized_coefficients", "ParenthesizedCoefficient"]
 

@@ -18,12 +18,14 @@ are distinct, the union of pair sets involves no cancellation and is exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, TYPE_CHECKING, Tuple
 
 from ..galois.gf2poly import degree
 from ..galois.matrices import reduction_matrix
 from .siti import convolution_pairs
-from .terms import Pair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .terms import Pair
 
 __all__ = ["ProductSpec"]
 

@@ -25,14 +25,18 @@ regular and sparse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, TYPE_CHECKING, Tuple
 
 from ..galois.gf2poly import degree
 from ..galois.matrices import reduction_matrix
 from .product_spec import ProductSpec
-from .siti import STFunction, st_functions
-from .splitting import SplitTerm, split_all_functions
-from .terms import Pair
+from .siti import st_functions
+from .splitting import split_all_functions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .siti import STFunction
+    from .splitting import SplitTerm
+    from .terms import Pair
 
 __all__ = [
     "STCoefficient",

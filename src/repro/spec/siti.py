@@ -23,9 +23,12 @@ the verification suite (``S_i == d_(i-1)``, ``T_i == d_(m+i)``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, TYPE_CHECKING, Tuple
 
-from .terms import Atom, Pair, atoms_to_string, pairs_of_atoms, x_atom, z_atom
+from .terms import atoms_to_string, pairs_of_atoms, x_atom, z_atom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .terms import Atom, Pair
 
 __all__ = [
     "STFunction",

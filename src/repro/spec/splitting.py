@@ -18,10 +18,14 @@ grouping convention as the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet, List, TYPE_CHECKING, Tuple
 
-from .siti import STFunction, all_s_functions, all_t_functions
-from .terms import Atom, Pair, atoms_to_string, pairs_of_atoms
+from .siti import all_s_functions, all_t_functions
+from .terms import atoms_to_string, pairs_of_atoms
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .siti import STFunction
+    from .terms import Atom, Pair
 
 __all__ = ["SplitTerm", "split_function", "split_all_functions", "split_table"]
 

@@ -35,18 +35,24 @@ deliberate trade for stage-level caching, scheduling and introspection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
-from ..multipliers.base import GeneratedMultiplier
-from ..netlist.netlist import Netlist
 from ..netlist.stats import gather_stats
 from ..netlist.verify import verify_netlist
 from .balance import restructure
-from .device import ARTIX7, DeviceModel
-from .lutmap import MappedNetwork, map_to_luts
+from .device import ARTIX7
+from .lutmap import map_to_luts
 from .report import ImplementationResult
-from .slices import SlicePacking, pack_slices
-from .timing import TimingResult, analyze_timing
+from .slices import pack_slices
+from .timing import analyze_timing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..multipliers.base import GeneratedMultiplier
+    from ..netlist.netlist import Netlist
+    from .device import DeviceModel
+    from .lutmap import MappedNetwork
+    from .slices import SlicePacking
+    from .timing import TimingResult
 
 __all__ = [
     "SynthesisOptions",

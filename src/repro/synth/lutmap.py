@@ -26,9 +26,12 @@ acceptable for the m = 163 fields of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, TYPE_CHECKING, Tuple
 
-from ..netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR, Netlist
+from ..netlist.netlist import OP_AND, OP_CONST0, OP_INPUT, OP_XOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..netlist.netlist import Netlist
 
 __all__ = ["MappedLUT", "MappedNetwork", "map_to_luts"]
 

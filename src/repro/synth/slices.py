@@ -18,10 +18,12 @@ paper's slice column responds to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List, Set, TYPE_CHECKING
 
-from .device import DeviceModel
-from .lutmap import MappedLUT, MappedNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import DeviceModel
+    from .lutmap import MappedLUT, MappedNetwork
 
 __all__ = ["Slice", "SlicePacking", "pack_slices"]
 

@@ -19,10 +19,12 @@ fanout can never make the model faster).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, TYPE_CHECKING
 
-from .device import DeviceModel
-from .lutmap import MappedNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import DeviceModel
+    from .lutmap import MappedNetwork
 
 __all__ = ["TimingResult", "analyze_timing"]
 

@@ -322,3 +322,23 @@ class TestEcdhCommand:
         ) == 0
         out = capsys.readouterr().out
         assert f"backend {backend}" in out and "byte-identical" in out
+
+    @pytest.mark.parametrize("ladder, label", [("planes", "plane-resident"), ("steps", "per-step")])
+    def test_ecdh_ladder_selection(self, ladder, label, capsys):
+        pytest.importorskip("numpy")
+        assert main(
+            ["ecdh", "--curve", "T-13", "--batch", "4", "--check", "4",
+             "--backend", "bitslice", "--ladder", ladder]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"({label} ladder)" in out and "byte-identical" in out
+
+    def test_ecdh_ladder_planes_needs_the_capability(self):
+        with pytest.raises(SystemExit, match="plane-resident"):
+            main(["ecdh", "--curve", "T-13", "--batch", "2", "--backend", "engine",
+                  "--ladder", "planes"])
+
+    def test_ecdh_default_ladder_reports_the_path(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["ecdh", "--curve", "T-13", "--batch", "2", "--backend", "bitslice"]) == 0
+        assert "(plane-resident ladder)" in capsys.readouterr().out

@@ -1,0 +1,271 @@
+"""The plane-resident compute layer and the plane-resident batched ladder.
+
+Acceptance contract of the PR 5 tentpole: the entire batched Montgomery
+ladder can run in the uint64 plane domain — one pack, all steps on planes,
+one unpack — and stays **byte-identical** to the scalar-reference ladder on
+every tested curve, including batches mixing scalars of very different bit
+lengths (the masked plane-select path).  The :class:`PlaneProgram` lowering
+of GF(2)-linear maps must agree with the table-driven scalar maps
+lane-by-lane, pinned down by a hypothesis property for squaring.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import (
+    PlaneProgram,
+    bitsliced_netlist,
+    get_backend,
+    numpy_available,
+    plane_program,
+)
+from repro.curves import curve_by_name, ecdh_batch, keygen_batch
+from repro.galois.field import GF2mField
+from repro.galois.pentanomials import smallest_type_ii_pentanomial
+
+requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+GF2_163 = GF2mField(smallest_type_ii_pentanomial(163), check_irreducible=False)
+
+#: The parity grid of ISSUE 5: toy curve plus two NIST-degree Koblitz curves.
+PARITY_CURVES = ["T-13", "K-163", "K-233"]
+
+
+def _mixed_scalars(curve, count, rng):
+    """Scalars covering the masked-select corners: 0, 1, n-1, and mixed widths."""
+    n = curve.order if curve.order is not None else curve.field.order
+    scalars = [0, 1, n - 1, 2, 3]
+    # Deliberately different bit lengths inside one batch.
+    for width in range(1, curve.field.m, max(1, curve.field.m // 8)):
+        scalars.append((rng.getrandbits(width) | (1 << (width - 1))) % n or 1)
+    while len(scalars) < count:
+        scalars.append(rng.randrange(0, n))
+    return scalars[:count]
+
+
+@requires_numpy
+class TestPlaneCapability:
+    def test_bitslice_advertises_plane_resident(self):
+        backend = get_backend("bitslice", GF2_163)
+        assert backend.capabilities.plane_resident
+        planes = backend.plane_compute()
+        assert planes is not None
+        assert planes.m == 163
+        assert backend.plane_compute() is planes  # cached per backend instance
+
+    @pytest.mark.parametrize("name", ["python", "engine"])
+    def test_other_backends_report_capability_absent(self, name):
+        backend = get_backend(name, GF2_163)
+        assert not backend.capabilities.plane_resident
+        assert backend.plane_compute() is None
+
+    def test_forcing_planes_on_a_scalar_backend_fails_loudly(self):
+        curve = curve_by_name("T-13")
+        point = curve.generator
+        with pytest.raises(ValueError, match="plane-resident"):
+            curve.multiply_batch([point], [3], backend="python", plane_resident=True)
+
+    def test_describe_mentions_the_substrate(self):
+        planes = get_backend("bitslice", GF2_163).plane_compute()
+        assert "plane-resident" in planes.describe()
+
+
+@requires_numpy
+class TestPlaneVectorRoundtrip:
+    def test_pack_unpack_is_identity(self):
+        planes = get_backend("bitslice", GF2_163).plane_compute()
+        rng = random.Random(5)
+        values = [0, 1, (1 << 163) - 1] + [rng.getrandbits(163) for _ in range(70)]
+        assert planes.unpack(planes.pack(values)) == values
+
+    def test_xor_and_select(self):
+        planes = get_backend("bitslice", GF2_163).plane_compute()
+        rng = random.Random(6)
+        a = [rng.getrandbits(163) for _ in range(67)]
+        b = [rng.getrandbits(163) for _ in range(67)]
+        bits = [rng.getrandbits(1) for _ in range(67)]
+        va, vb = planes.pack(a), planes.pack(b)
+        assert planes.unpack(planes.xor_planes(va, vb)) == [x ^ y for x, y in zip(a, b)]
+        mask = planes.broadcast_bits(bits)
+        selected = planes.unpack(planes.select_planes(mask, va, vb))
+        assert selected == [x if bit else y for x, y, bit in zip(a, b, bits)]
+
+    def test_mismatched_batches_are_rejected(self):
+        planes = get_backend("bitslice", GF2_163).plane_compute()
+        rng = random.Random(12)
+        narrow = planes.pack([rng.getrandbits(163) for _ in range(10)])   # 1 lane word
+        wide = planes.pack([rng.getrandbits(163) for _ in range(70)])     # 2 lane words
+        with pytest.raises(ValueError, match="one batch"):
+            planes.xor_planes(narrow, wide)
+        with pytest.raises(ValueError, match="one batch"):
+            planes.multiply_planes([narrow, wide], [wide, narrow])
+        mask = planes.broadcast_bits([1] * 10)
+        with pytest.raises(ValueError, match="lane words"):
+            planes.select_planes(mask, wide, wide)
+
+    def test_multiply_planes_single_and_stacked(self):
+        field = GF2_163
+        planes = get_backend("bitslice", field).plane_compute()
+        rng = random.Random(7)
+        a = [rng.getrandbits(163) for _ in range(33)]
+        b = [rng.getrandbits(163) for _ in range(33)]
+        c = [rng.getrandbits(163) for _ in range(33)]
+        d = [rng.getrandbits(163) for _ in range(33)]
+        va, vb, vc, vd = map(planes.pack, (a, b, c, d))
+        single = planes.unpack(planes.multiply_planes(va, vb))
+        assert single == [field.multiply(x, y) for x, y in zip(a, b)]
+        stacked = planes.multiply_planes([va, vc], [vb, vd])
+        assert planes.unpack(stacked[0]) == single
+        assert planes.unpack(stacked[1]) == [field.multiply(x, y) for x, y in zip(c, d)]
+
+
+@requires_numpy
+class TestPlaneProgram:
+    def test_square_program_matches_scalar_map(self):
+        field = GF2_163
+        planes = get_backend("bitslice", field).plane_compute()
+        rng = random.Random(8)
+        values = [0, 1, (1 << 163) - 1] + [rng.getrandbits(163) for _ in range(100)]
+        squared = planes.unpack(planes.apply_linear_planes(field.square_map, planes.pack(values)))
+        assert squared == [field.square(value) for value in values]
+
+    def test_constant_multiplier_program(self):
+        field = GF2_163
+        planes = get_backend("bitslice", field).plane_compute()
+        rng = random.Random(9)
+        constant = rng.getrandbits(163)
+        mul_c = field.constant_multiplier(constant)
+        values = [rng.getrandbits(163) for _ in range(65)]
+        result = planes.unpack(planes.apply_linear_planes(mul_c, planes.pack(values)))
+        assert result == [field.multiply(constant, value) for value in values]
+
+    def test_zero_and_identity_maps(self):
+        import numpy as np
+
+        identity = PlaneProgram([1 << i for i in range(8)])
+        zero = PlaneProgram([0] * 8)
+        data = np.arange(8, dtype=np.uint64).reshape(8, 1)
+        assert identity.apply(data).tolist() == data.tolist()
+        assert zero.apply(data).tolist() == [[0]] * 8
+        assert identity.xor_count == 0  # pure copies need no gates
+
+    def test_rejects_wrong_shapes(self):
+        import numpy as np
+
+        program = PlaneProgram([1, 2, 3])
+        with pytest.raises(ValueError, match="input planes"):
+            program.apply(np.zeros((4, 1), dtype=np.uint64))
+        with pytest.raises(ValueError, match="output space"):
+            PlaneProgram([1, 2, 9], out_bits=3)
+
+    def test_programs_are_memoized(self):
+        program = plane_program(GF2_163.square_map)
+        assert plane_program(GF2_163.square_map) is program
+        assert "XOR" in program.describe()
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 163) - 1), min_size=1, max_size=96))
+    @settings(max_examples=25, deadline=None)
+    def test_plane_squaring_equals_field_square_lane_by_lane(self, values):
+        planes = get_backend("bitslice", GF2_163).plane_compute()
+        packed = planes.pack(values)
+        squared = planes.unpack(planes.apply_linear_planes(GF2_163.square_map, packed))
+        assert squared == [GF2_163.square(value) for value in values]
+
+
+@requires_numpy
+class TestNetlistMemoization:
+    def test_lowering_is_shared_across_equal_fields(self):
+        from repro.multipliers.cache import cached_multiplier
+
+        modulus = GF2_163.modulus
+        multiplier = cached_multiplier("thiswork", modulus, verify=False)
+        first = bitsliced_netlist(multiplier.netlist, multiplier.m, modulus=modulus)
+        second = bitsliced_netlist(multiplier.netlist, multiplier.m, modulus=modulus)
+        assert first is second
+        # Backend instances for equal fields reuse the same lowering.
+        backend = get_backend("bitslice", GF2mField(modulus, check_irreducible=False))
+        assert backend.sliced is first
+
+    def test_no_modulus_means_no_cache_entry(self):
+        from repro.multipliers.cache import cached_multiplier
+
+        multiplier = cached_multiplier("thiswork", GF2_163.modulus, verify=False)
+        first = bitsliced_netlist(multiplier.netlist, multiplier.m)
+        second = bitsliced_netlist(multiplier.netlist, multiplier.m)
+        assert first is not second
+
+    def test_chunk_size_is_part_of_the_key(self):
+        from repro.multipliers.cache import cached_multiplier
+
+        modulus = GF2_163.modulus
+        multiplier = cached_multiplier("thiswork", modulus, verify=False)
+        default = bitsliced_netlist(multiplier.netlist, multiplier.m, modulus=modulus)
+        narrow = bitsliced_netlist(multiplier.netlist, multiplier.m, chunk_size=64, modulus=modulus)
+        assert default is not narrow and narrow.chunk_size == 64
+
+
+@requires_numpy
+class TestPlaneLadderParity:
+    """ISSUE 5 satellite: plane ladder == scalar reference on the parity grid."""
+
+    @pytest.mark.parametrize("name", PARITY_CURVES)
+    def test_plane_ladder_matches_scalar_reference(self, name):
+        curve = curve_by_name(name)
+        rng = random.Random(2018)
+        backend = get_backend("bitslice", curve.field)
+        scalars = _mixed_scalars(curve, 16, rng)
+        generator = curve.generator
+        points = [generator] * len(scalars)
+        plane = curve.multiply_batch(points, scalars, backend=backend, plane_resident=True)
+        reference = [curve.multiply(generator, scalar) for scalar in scalars]
+        assert plane == reference
+
+    @pytest.mark.parametrize("name", ["T-13", "K-163"])
+    def test_plane_and_step_paths_are_byte_identical(self, name):
+        curve = curve_by_name(name)
+        rng = random.Random(99)
+        backend = get_backend("bitslice", curve.field)
+        scalars = _mixed_scalars(curve, 12, rng)
+        points = [curve.generator] * len(scalars)
+        plane = curve.multiply_batch(points, scalars, backend=backend, plane_resident=True)
+        steps = curve.multiply_batch(points, scalars, backend=backend, plane_resident=False)
+        assert plane == steps
+
+    def test_plane_ladder_chunks_large_batches(self):
+        curve = curve_by_name("T-13")
+        rng = random.Random(3)
+        backend = get_backend("bitslice", curve.field, chunk_size=8)
+        scalars = _mixed_scalars(curve, 37, rng)  # forces 5 plane chunks
+        points = [curve.generator] * len(scalars)
+        plane = curve.multiply_batch(points, scalars, backend=backend, plane_resident=True)
+        assert plane == [curve.multiply(curve.generator, scalar) for scalar in scalars]
+
+    def test_distinct_base_points_per_lane(self):
+        curve = curve_by_name("T-13")
+        rng = random.Random(11)
+        backend = get_backend("bitslice", curve.field)
+        points = [curve.random_point(rng) for _ in range(9)]
+        scalars = _mixed_scalars(curve, 9, rng)
+        plane = curve.multiply_batch(points, scalars, backend=backend, plane_resident=True)
+        assert plane == [curve.multiply(p, k) for p, k in zip(points, scalars)]
+
+    def test_protocols_route_through_the_plane_ladder(self):
+        curve = curve_by_name("K-163")
+        pairs = keygen_batch(curve, 6, seed=4, backend="bitslice", plane_resident=True)
+        reference = keygen_batch(curve, 6, seed=4, batched=False)
+        assert [p.public for p in pairs] == [p.public for p in reference]
+        shared = ecdh_batch(
+            curve,
+            [p.private for p in pairs],
+            [p.public for p in reversed(pairs)],
+            backend="bitslice",
+            plane_resident=True,
+        )
+        assert shared == [
+            curve.multiply(q.public, p.private) for p, q in zip(pairs, reversed(pairs))
+        ]
