@@ -1,0 +1,272 @@
+"""Fused FieldIR ladder step vs the per-op plane path — the PR 6 tentpole figure.
+
+Both paths run the identical batched López-Dahab Montgomery ladder on the
+same ``bitslice`` backend, plane-resident end to end; the difference is
+purely dispatch granularity.  The **per-op** path is the PR 5 schedule: the
+step hand-written as ~14 separate plane operations (two lane-stacked
+multiplies, six ``PlaneProgram`` squarings, XORs, masked selects), each a
+separate Python call paying its own buffer setup — reconstructed here
+through the deprecated :class:`~repro.backends.planes.PlaneCompute` shims,
+which run the very same single-op programs the old hand schedule lowered
+to.  The **fused** path is the PR 6 formula compiler: the whole step traced
+once as :class:`~repro.backends.ir.FieldIR`, scheduled into six fused
+passes (chained squarings composed into one linear stage, all XOR work
+merged into the gather schedules), compiled per curve × backend × chunk and
+executed per step via
+:meth:`~repro.backends.planes.CompiledPlaneIR.run_arrays`.
+
+The asserted acceptance figures: the fused step must beat the per-op path
+on B-163 batch-256 (CI floor ``FUSED_OVER_PER_OP_FLOOR``), and fused
+end-to-end ECDH agreement must stay ≥ 2× the per-step batch path.  The
+ISSUE 6 acceptance additionally references the committed PR 5 figure of
+388 plane ladders/s on the trajectory machine; the report records the
+measured ratio against that constant for the committed JSON.  Ladder
+registers are asserted byte-identical between the two plane paths on every
+lane, and the ECDH results against the scalar-ladder reference.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fused_step.py --json BENCH_fused_step.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+import warnings
+
+from repro.backends import get_backend, numpy_available
+from repro.backends.planes import PlaneVector
+from repro.curves import curve_by_name, ecdh_batch
+from repro.curves.formulas import ladder_step_program
+
+#: The headline grid point: NIST-degree B-163 at batch 256.
+DEFAULT_CURVE = "B-163"
+DEFAULT_BATCH = 256
+
+#: CI floor: the fused step over the reconstructed per-op plane step.
+FUSED_OVER_PER_OP_FLOOR = 1.05
+
+#: CI floor: fused plane ECDH over the per-step batch path (shared runners).
+ECDH_PLANE_FLOOR = 2.0
+
+#: The PR 5 plane-ladder figure on the trajectory machine (the ISSUE 6
+#: acceptance baseline); reported as a ratio, never asserted on CI runners.
+PR5_PLANE_BASELINE = 388.0
+
+#: The committed-JSON schema version shared by the BENCH_* trajectory files.
+COMMIT_PR = 6
+
+
+def _best_of_interleaved(callables, repeats: int):
+    """Per-callable (result, best seconds), the timed calls interleaved.
+
+    Shared runners see load spikes lasting whole seconds; timing each path
+    in its own contiguous block hands whichever ran in the quiet window an
+    unearned win.  Round-robin interleaving gives every path one sample per
+    load regime, and best-of picks each path's quiet-window figure.
+    """
+    results = [callable_() for callable_ in callables]
+    bests = [float("inf")] * len(callables)
+    for _ in range(repeats):
+        for index, callable_ in enumerate(callables):
+            start = time.perf_counter()
+            repeated = callable_()
+            bests[index] = min(bests[index], time.perf_counter() - start)
+            if repeated != results[index]:
+                raise AssertionError("batched ladder is not deterministic")
+    return list(zip(results, bests))
+
+
+def _fused_ladder(backend, curve, base_x, scalars):
+    """The compiled-formula ladder loop: one ``run_arrays`` call per step."""
+    executor = backend.ir_executor()
+    compiled = executor.compile(ladder_step_program(curve))
+    count = len(base_x)
+    base = executor.pack(base_x).array
+    x1 = executor.pack([1] * count).array
+    z1 = executor.pack([0] * count).array
+    x2 = base.copy()
+    z2 = x1.copy()
+    for bit_index in range(max(s.bit_length() for s in scalars) - 1, -1, -1):
+        mask = executor.broadcast_bits([(s >> bit_index) & 1 for s in scalars])
+        x1, z1, x2, z2 = compiled.run_arrays((x1, z1, x2, z2, base), (mask,))
+    return tuple(executor.unpack(PlaneVector(a, count)) for a in (x1, z1, x2, z2))
+
+
+def _per_op_ladder(backend, curve, base_x, scalars):
+    """The PR 5 hand schedule: the same step as ~14 separate plane ops.
+
+    Reconstructed through the deprecated ``PlaneCompute`` shims (warnings
+    suppressed — this benchmark exists to measure the old dispatch
+    granularity): two lane-stacked multiplies, six squaring applications,
+    the multiply-by-b map, three XORs and six masked selects per step.
+    """
+    plane = backend.plane_compute()
+    square = curve.field.square_map
+    mul_b = curve._mul_b
+    count = len(base_x)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        base = plane.pack(base_x)
+        x1 = plane.pack([1] * count)
+        z1 = plane.pack([0] * count)
+        x2 = base.copy()
+        z2 = x1.copy()
+        for bit_index in range(max(s.bit_length() for s in scalars) - 1, -1, -1):
+            mask = plane.broadcast_bits([(s >> bit_index) & 1 for s in scalars])
+            xd = plane.select_planes(mask, x2, x1)
+            zd = plane.select_planes(mask, z2, z1)
+            t1, t2, xz = plane.multiply_planes([x1, x2, xd], [z2, z1, zd])
+            z_sum = plane.apply_linear_planes(square, plane.xor_planes(t1, t2))
+            z_dbl = plane.apply_linear_planes(square, xz)
+            xd4 = plane.apply_linear_planes(square, plane.apply_linear_planes(square, xd))
+            zd4 = plane.apply_linear_planes(square, plane.apply_linear_planes(square, zd))
+            x_dbl = plane.xor_planes(xd4, plane.apply_linear_planes(mul_b, zd4))
+            t1t2, x_zsum = plane.multiply_planes([t1, base], [t2, z_sum])
+            x_sum = plane.xor_planes(t1t2, x_zsum)
+            x1 = plane.select_planes(mask, x_sum, x_dbl)
+            z1 = plane.select_planes(mask, z_sum, z_dbl)
+            x2 = plane.select_planes(mask, x_dbl, x_sum)
+            z2 = plane.select_planes(mask, z_dbl, z_sum)
+        return tuple(plane.unpack(v) for v in (x1, z1, x2, z2))
+
+
+def measure_fused_step(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=3, check=4, seed=2018):
+    """One benchmark row: fused vs per-op step loops plus end-to-end ECDH."""
+    curve = curve_by_name(curve_name)
+    backend = get_backend("bitslice", curve.field)
+    rng = random.Random(seed)
+    bound = curve.order if curve.order is not None else curve.field.order
+    privates = [rng.randrange(1, bound) for _ in range(batch)]
+    peer_privates = [rng.randrange(1, bound) for _ in range(batch)]
+    # Peers via the batched ladder itself (also warms circuit + plane caches).
+    peers = curve.multiply_batch([curve.generator] * batch, peer_privates, backend=backend)
+    base_x = [point.x for point in peers]
+
+    (
+        (fused_state, fused_s),
+        (per_op_state, per_op_s),
+        (plane_shared, plane_s),
+        (steps_shared, steps_s),
+    ) = _best_of_interleaved(
+        [
+            lambda: _fused_ladder(backend, curve, base_x, privates),
+            lambda: _per_op_ladder(backend, curve, base_x, privates),
+            lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=True),
+            lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=False),
+        ],
+        repeats,
+    )
+    if fused_state != per_op_state:
+        raise AssertionError("fused and per-op ladder registers disagree")
+    if plane_shared != steps_shared:
+        raise AssertionError("plane-resident and per-step ladders disagree")
+    for index in range(min(check, batch)):
+        if plane_shared[index] != curve.multiply(peers[index], privates[index]):
+            raise AssertionError(f"batched agreement {index} != scalar-ladder reference")
+
+    plane_rate = batch / plane_s if plane_s > 0 else float("inf")
+    return {
+        "curve": curve_name,
+        "m": curve.field.m,
+        "batch": batch,
+        "checked_vs_scalar": min(check, batch),
+        "fused_step_ladders_per_s": batch / fused_s if fused_s > 0 else float("inf"),
+        "per_op_step_ladders_per_s": batch / per_op_s if per_op_s > 0 else float("inf"),
+        "speedup_fused_vs_per_op": per_op_s / fused_s if fused_s > 0 else float("inf"),
+        "ecdh_plane_ladders_per_s": plane_rate,
+        "ecdh_steps_ladders_per_s": batch / steps_s if steps_s > 0 else float("inf"),
+        "speedup_ecdh_plane_vs_steps": steps_s / plane_s if plane_s > 0 else float("inf"),
+        "pr5_plane_baseline_ladders_per_s": PR5_PLANE_BASELINE,
+        "speedup_ecdh_vs_pr5_baseline": plane_rate / PR5_PLANE_BASELINE,
+    }
+
+
+def report(rows):
+    lines = [
+        f"{'curve':>7s} {'batch':>6s} {'fused step':>12s} {'per-op step':>12s} {'ratio':>6s}"
+        f" {'ecdh plane':>12s} {'vs steps':>8s} {'vs PR5':>6s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['curve']:>7s} {row['batch']:>6d} {row['fused_step_ladders_per_s']:>10,.0f}/s"
+            f" {row['per_op_step_ladders_per_s']:>10,.0f}/s {row['speedup_fused_vs_per_op']:>5.2f}x"
+            f" {row['ecdh_plane_ladders_per_s']:>10,.0f}/s {row['speedup_ecdh_plane_vs_steps']:>7.1f}x"
+            f" {row['speedup_ecdh_vs_pr5_baseline']:>5.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _assert_floors(row):
+    if row["speedup_fused_vs_per_op"] < FUSED_OVER_PER_OP_FLOOR:
+        raise AssertionError(
+            f"fused step only {row['speedup_fused_vs_per_op']:.2f}x over the per-op plane path "
+            f"(floor {FUSED_OVER_PER_OP_FLOOR:.2f}x)"
+        )
+    if row["speedup_ecdh_plane_vs_steps"] < ECDH_PLANE_FLOOR:
+        raise AssertionError(
+            f"fused plane ECDH only {row['speedup_ecdh_plane_vs_steps']:.1f}x over the per-step "
+            f"path (floor {ECDH_PLANE_FLOOR:.0f}x)"
+        )
+
+
+# --------------------------------------------------------------------- pytest
+def test_fused_step_beats_per_op_b163():
+    """The CI gate: the compiled formula beats the per-op plane dispatch."""
+    if not numpy_available():  # pragma: no cover - CI installs numpy
+        import pytest
+
+        pytest.skip("numpy not installed; bitslice backend unavailable")
+    row = measure_fused_step(batch=128, repeats=2)
+    print("\n" + report([row]))
+    _assert_floors(row)
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="fused FieldIR ladder step vs the per-op plane path")
+    parser.add_argument("--curve", default=DEFAULT_CURVE)
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="batch 128, 2 repeats (CI smoke)")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the machine-readable report here")
+    args = parser.parse_args(argv)
+    batch = 128 if args.quick else args.batch
+    repeats = 2 if args.quick else args.repeats
+    row = measure_fused_step(curve_name=args.curve, batch=batch, repeats=repeats)
+    print(report([row]))
+    if args.json:
+        payload = {
+            "bench": "fused_step",
+            "commit_pr": COMMIT_PR,
+            "config": {
+                "curve": args.curve,
+                "batch": batch,
+                "repeats": repeats,
+                "backend": "bitslice",
+                "platform": {
+                    "python": platform.python_version(),
+                    "machine": platform.machine(),
+                },
+            },
+            "results": [row],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    _assert_floors(row)
+    print(
+        f"ok: fused step {row['speedup_fused_vs_per_op']:.2f}x over the per-op path "
+        f"(floor {FUSED_OVER_PER_OP_FLOOR:.2f}x); fused ECDH "
+        f"{row['speedup_ecdh_plane_vs_steps']:.1f}x over per-step (floor {ECDH_PLANE_FLOOR:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

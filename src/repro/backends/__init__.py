@@ -18,12 +18,13 @@ the CLI — select a substrate by name instead of hard-coding a call path:
   gather/scatter evaluation (:class:`BitslicedNetlist`): 64+ batch lanes
   per word op, ~9× the scalar reference at GF(2^163)/batch-2048.
   Requires the optional numpy dependency (``gf2m-repro[bitslice]``).
-  It is also the one backend with the *plane-resident* capability
-  (:mod:`repro.backends.planes`): consumers can pack a batch into a
-  :class:`PlaneVector` once, run whole algorithms — netlist products,
-  :class:`PlaneProgram` linear maps, masked selects — without leaving
-  the plane domain, and unpack once; the batched curve ladder rides on
-  this for ~3× the per-step batch path.
+  It is also the one backend with the *plane-resident* capability: whole
+  formulas traced as :class:`FieldIR` (:mod:`repro.backends.ir`) compile
+  through its :class:`PlaneIRExecutor` into fused plane passes —
+  lane-stacked netlist products, merged gather/XOR linear stages, masked
+  selects — so consumers pack a batch into a :class:`PlaneVector` once,
+  execute the compiled formula per step, and unpack once; the batched
+  curve ladder rides on this for ~3× the per-step batch path.
 
 Selection: explicit ``backend=`` arguments (a name or an instance)
 anywhere batch APIs are exposed, the ``--backend`` CLI flag, or the
@@ -43,7 +44,22 @@ True
 from .base import BackendCapabilities, FieldBackend, default_method_for
 from .bitslice import BitsliceBackend, BitslicedNetlist, bitsliced_netlist, numpy_available
 from .engine_backend import EngineBackend
-from .planes import PlaneCompute, PlaneProgram, PlaneVector, plane_program
+from .ir import (
+    FieldIR,
+    FieldProgram,
+    IRBuilder,
+    cached_program,
+    execute_program,
+    schedule_program,
+)
+from .planes import (
+    CompiledPlaneIR,
+    PlaneCompute,
+    PlaneIRExecutor,
+    PlaneProgram,
+    PlaneVector,
+    plane_program,
+)
 from .python_int import PythonIntBackend
 from .registry import (
     BACKEND_ENV_VAR,
@@ -64,7 +80,15 @@ __all__ = [
     "bitsliced_netlist",
     "numpy_available",
     "EngineBackend",
+    "FieldIR",
+    "FieldProgram",
+    "IRBuilder",
+    "cached_program",
+    "execute_program",
+    "schedule_program",
+    "CompiledPlaneIR",
     "PlaneCompute",
+    "PlaneIRExecutor",
     "PlaneProgram",
     "PlaneVector",
     "plane_program",

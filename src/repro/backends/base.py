@@ -70,11 +70,12 @@ class BackendCapabilities:
         scalar reference; below it the ``python`` backend usually wins.
     plane_resident:
         Whether the backend can keep whole algorithms in its packed plane
-        representation (:meth:`FieldBackend.plane_compute` returns a
-        :class:`~repro.backends.planes.PlaneCompute`): consumers pack
-        operands once, run every step on planes, and unpack once — the
-        batched Montgomery ladder uses this to skip ~2·m transposes per
-        scalar multiplication.
+        representation (:meth:`FieldBackend.ir_executor` returns a
+        :class:`~repro.backends.planes.PlaneIRExecutor`): consumers trace
+        their formula as a :class:`~repro.backends.ir.FieldIR`, compile it
+        once, pack operands once, run every step as fused plane passes, and
+        unpack once — the batched Montgomery ladder uses this to skip
+        ~2·m transposes per scalar multiplication.
     """
 
     vectorized: bool
@@ -152,14 +153,26 @@ class FieldBackend(ABC):
         inverses[0] = running
         return inverses
 
-    def plane_compute(self):
-        """The backend's plane-resident capability, or ``None`` when absent.
+    def ir_executor(self):
+        """The backend's FieldIR plane executor, or ``None`` when absent.
 
         Backends whose packed representation supports whole plane-resident
-        algorithms (:attr:`BackendCapabilities.plane_resident`) return a
-        :class:`~repro.backends.planes.PlaneCompute`; the scalar and
-        big-integer engine backends report the capability absent and
-        consumers fall back to per-step batch calls.
+        formulas (:attr:`BackendCapabilities.plane_resident`) return a
+        :class:`~repro.backends.planes.PlaneIRExecutor`, which compiles
+        scheduled :class:`~repro.backends.ir.FieldProgram` s into fused
+        plane passes.  The scalar and big-integer engine backends report
+        the capability absent; consumers then interpret the same program
+        per step through :func:`repro.backends.ir.execute_program`.
+        """
+        return None
+
+    def plane_compute(self):
+        """Deprecated: the op-by-op plane capability, or ``None`` when absent.
+
+        Superseded by :meth:`ir_executor` — the returned
+        :class:`~repro.backends.planes.PlaneCompute` survives only as a
+        shim whose operation methods emit ``DeprecationWarning`` and
+        delegate to single-op FieldIR programs.
         """
         return None
 

@@ -40,7 +40,13 @@ from ..engine.bitpack import pack_rows, unpack_planes
 from ..netlist.netlist import OP_AND, OP_XOR
 from ..pipeline.store import LRUCache
 from .base import BackendCapabilities, FieldBackend, default_method_for
-from .planes import PlaneCompute, _LaneBufferCache, _planes_to_array, lane_words_for
+from .planes import (
+    PlaneCompute,
+    PlaneIRExecutor,
+    _LaneBufferCache,
+    _planes_to_array,
+    lane_words_for,
+)
 
 try:  # pragma: no cover - exercised via monkeypatching in the tests
     import numpy as _np
@@ -353,6 +359,7 @@ class BitsliceBackend(FieldBackend):
         self.chunk_size = chunk_size
         self.verify = verify
         self._sliced: Optional[BitslicedNetlist] = None
+        self._executor: Optional[PlaneIRExecutor] = None
         self._planes: Optional[PlaneCompute] = None
 
     @property
@@ -370,10 +377,16 @@ class BitsliceBackend(FieldBackend):
             )
         return self._sliced
 
+    def ir_executor(self) -> PlaneIRExecutor:
+        """The FieldIR plane executor (see :mod:`repro.backends.planes`)."""
+        if self._executor is None:
+            self._executor = PlaneIRExecutor(self.field, self.sliced)
+        return self._executor
+
     def plane_compute(self) -> PlaneCompute:
-        """The plane-resident capability (see :mod:`repro.backends.planes`)."""
+        """Deprecated shim container over :meth:`ir_executor` (op methods warn)."""
         if self._planes is None:
-            self._planes = PlaneCompute(self.field, self.sliced)
+            self._planes = PlaneCompute(self.field, self.sliced, self.ir_executor())
         return self._planes
 
     def multiply(self, a: int, b: int) -> int:
@@ -381,6 +394,48 @@ class BitsliceBackend(FieldBackend):
 
     def multiply_batch(self, a_values: Sequence[int], b_values: Sequence[int]) -> List[int]:
         return self.sliced.multiply_batch(a_values, b_values)
+
+    def inverse_batch(self, values: Sequence[int]) -> List[int]:
+        """Simultaneous inversion via a product tree of batched multiplies.
+
+        The base-class Montgomery chain is a strictly sequential walk of
+        ``3(len - 1)`` scalar reference multiplies — on this backend those
+        dominate the y-recovery of a batched ladder.  A product tree has the
+        same multiplication count but only ``2·log2(len)`` *levels*, and
+        every level is one lane-parallel :meth:`multiply_batch` call: pair
+        the values upward to the root product, invert the root once, then
+        walk back down handing each node's inverse to its two children
+        (``inv_left = inv_parent · right`` and symmetrically).  Exact
+        arithmetic, so the results stay byte-identical to the scalar chain;
+        tiny batches keep the chain (pack/unpack overhead would dominate).
+        """
+        values = list(values)
+        if 0 in values:
+            index = values.index(0)
+            raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
+        if len(values) < 16:
+            return super().inverse_batch(values)
+        levels = [values]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            half = len(current) // 2
+            products = self.multiply_batch(current[0:2 * half:2], current[1:2 * half:2])
+            if len(current) % 2:
+                products.append(current[-1])
+            levels.append(products)
+        inverses = [self.field.inverse(levels[-1][0])]
+        for level in reversed(levels[:-1]):
+            half = len(level) // 2
+            left_factors: List[int] = []
+            right_factors: List[int] = []
+            for i in range(half):
+                left_factors.extend((inverses[i], inverses[i]))
+                right_factors.extend((level[2 * i + 1], level[2 * i]))
+            children = self.multiply_batch(left_factors, right_factors)
+            if len(level) % 2:
+                children.append(inverses[half])
+            inverses = children
+        return inverses
 
     def describe(self) -> str:
         return self.sliced.describe()

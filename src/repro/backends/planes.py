@@ -37,11 +37,20 @@ curve constructions never re-lower a linear map.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..engine.bitpack import pack_rows, unpack_planes
 from ..pipeline.store import LRUCache
+from .ir import (
+    K_LINEAR,
+    K_MUL,
+    FieldProgram,
+    IRBuilder,
+    cached_program,
+    schedule_program,
+)
 
 try:  # pragma: no cover - exercised via monkeypatching in the tests
     import numpy as _np
@@ -52,7 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..galois.field import GF2LinearMap, GF2mField
     from .bitslice import BitslicedNetlist
 
-__all__ = ["PlaneVector", "PlaneProgram", "PlaneCompute", "plane_program"]
+__all__ = [
+    "PlaneVector",
+    "PlaneProgram",
+    "PlaneCompute",
+    "PlaneIRExecutor",
+    "CompiledPlaneIR",
+    "plane_program",
+]
 
 
 def _require_numpy():
@@ -232,13 +248,30 @@ class PlaneProgram:
         Returns a fresh ``(out_bits, lane_words)`` array (the final output
         gather never aliases the reused work buffer).
         """
-        np = _np
         if planes.shape[0] != self.input_bits:
             raise ValueError(
                 f"expected {self.input_bits} input planes, got {planes.shape[0]}"
             )
-        work, gather0, gather1 = self._buffers.get(planes.shape[1])
-        work[: self.input_bits] = planes
+        return self.apply_parts((planes,))
+
+    def apply_parts(self, parts: Sequence) -> "object":
+        """:meth:`apply` over an input space given as stacked row blocks.
+
+        The fused-IR executor keeps each register as its own ``(m,
+        lane_words)`` array; a multi-input program writes the blocks
+        straight into consecutive work-buffer slices, so no concatenated
+        temporary is ever allocated on the hot path.  The blocks' row
+        counts must sum to :attr:`input_bits`.
+        """
+        np = _np
+        work, gather0, gather1 = self._buffers.get(parts[0].shape[1])
+        offset = 0
+        for part in parts:
+            rows = part.shape[0]
+            work[offset:offset + rows] = part
+            offset += rows
+        if offset != self.input_bits:
+            raise ValueError(f"expected {self.input_bits} input planes, got {offset}")
         for start, end, fanin0, fanin1 in self._segments:
             count = end - start
             np.take(work, fanin0, axis=0, out=gather0[:count], mode="clip")
@@ -265,20 +298,174 @@ def plane_program(linear_map: "GF2LinearMap") -> PlaneProgram:
     return _PROGRAM_CACHE.get_or_create(key, lambda: PlaneProgram(linear_map.masks))
 
 
-class PlaneCompute:
-    """The plane-resident capability of a bitsliced backend.
+def _fused_plane_program(masks: Sequence[int], out_bits: int) -> PlaneProgram:
+    """Memoized lowering of a fused LinearPass (multi-input, multi-output)."""
+    key = (len(masks), tuple(masks), out_bits)
+    return _PROGRAM_CACHE.get_or_create(key, lambda: PlaneProgram(masks, out_bits=out_bits))
 
-    Bound to one field and its compiled multiplier
-    (:class:`~repro.backends.bitslice.BitslicedNetlist`); exposes exactly
-    the operations a consumer needs to keep a whole algorithm in the plane
-    domain: :meth:`pack` / :meth:`unpack` at the boundary,
-    :meth:`multiply_planes` for full products, :meth:`apply_linear_planes`
-    for squarings and constant multiplications, and :meth:`xor_planes` /
-    :meth:`select_planes` / :meth:`broadcast_bits` for everything between.
 
-    Independent products of the same batch can be lane-stacked: passing
-    sequences to :meth:`multiply_planes` evaluates the netlist once over
-    the concatenated lane words instead of once per product.
+class CompiledPlaneIR:
+    """One :class:`~repro.backends.ir.FieldProgram` lowered to plane passes.
+
+    Built by :meth:`PlaneIRExecutor.compile`; holds the per-pass plane
+    lowering so executing a step costs only the numpy work:
+
+    * a ``MulPass`` lane-stacks all its products into **one**
+      :meth:`~repro.backends.bitslice.BitslicedNetlist.multiply_planes`
+      evaluation over the lane-concatenated operand arrays;
+    * a ``LinearPass`` becomes **one** multi-input multi-output
+      :class:`PlaneProgram` (its fused basis-image masks over the stacked
+      register space), applied without concatenation via
+      :meth:`PlaneProgram.apply_parts`;
+    * a ``SelectPass`` applies each broadcast lane mask with three
+      bitwise ops per swapped register, the inverted mask computed once.
+
+    ``run_arrays`` is the hot-loop entry point (plain arrays in schedule
+    order, no dicts); :meth:`run` is the friendly name-keyed wrapper.
+    """
+
+    def __init__(self, executor: "PlaneIRExecutor", program: FieldProgram) -> None:
+        np = _require_numpy()
+        self.executor = executor
+        self.program = program
+        self.m = program.m
+        ir = program.ir
+        self.input_names = [name for name, _ in ir.inputs]
+        self.mask_names = [name for name, _ in ir.mask_inputs]
+        self.output_names = [name for name, _ in ir.outputs]
+        self._input_vids = [vid for _, vid in ir.inputs]
+        self._output_vids = [vid for _, vid in ir.outputs]
+        lowered: List[tuple] = []
+        for item in program.passes:
+            if item.kind == K_MUL:
+                lowered.append((K_MUL, tuple(item.pairs)))
+            elif item.kind == K_LINEAR:
+                fused = _fused_plane_program(
+                    item.fused_masks(self.m), len(item.outputs) * self.m
+                )
+                lowered.append((K_LINEAR, tuple(item.inputs), tuple(item.outputs), fused))
+            else:
+                lowered.append(("select", tuple(item.triples)))
+        self._passes = lowered
+        self._np = np
+
+    def run_arrays(self, input_arrays: Sequence, mask_arrays: Sequence) -> List:
+        """Execute over ``(m, lane_words)`` arrays in declared input order.
+
+        ``mask_arrays`` are broadcast lane-word masks (one per declared
+        mask input, as built by :meth:`PlaneIRExecutor.broadcast_bits`).
+        Returns fresh output arrays in declared output order — the caller
+        may feed them back in as the next step's inputs.
+        """
+        np = self._np
+        sliced = self.executor.sliced
+        m = self.m
+        regs: Dict[int, object] = dict(zip(self._input_vids, input_arrays))
+        masks: Dict[str, object] = dict(zip(self.mask_names, mask_arrays))
+        if self.program.consts:
+            lane_words = input_arrays[0].shape[1]
+            live = self.executor._live_lane_words(lane_words)
+            for vid, value in self.program.consts:
+                const = np.zeros((m, lane_words), dtype=np.uint64)
+                for i in range(m):
+                    if (value >> i) & 1:
+                        const[i] = live
+                regs[vid] = const
+        inverted: Dict[str, object] = {}
+        for lowering in self._passes:
+            if lowering[0] == K_MUL:
+                pairs = lowering[1]
+                if len(pairs) == 1:
+                    a, b, out = pairs[0]
+                    regs[out] = sliced.multiply_planes(regs[a], regs[b])
+                    continue
+                stacked = sliced.multiply_planes(
+                    np.concatenate([regs[a] for a, _, _ in pairs], axis=1),
+                    np.concatenate([regs[b] for _, b, _ in pairs], axis=1),
+                )
+                width = stacked.shape[1] // len(pairs)
+                for index, (_, _, out) in enumerate(pairs):
+                    regs[out] = stacked[:, index * width:(index + 1) * width]
+            elif lowering[0] == K_LINEAR:
+                _, in_vids, out_vids, fused = lowering
+                result = fused.apply_parts([regs[vid] for vid in in_vids])
+                for position, vid in enumerate(out_vids):
+                    regs[vid] = result[position * m:(position + 1) * m]
+            else:
+                for mask_name, set_vid, clear_vid, out in lowering[1]:
+                    mask = masks[mask_name]
+                    inv = inverted.get(mask_name)
+                    if inv is None:
+                        inv = inverted[mask_name] = np.bitwise_not(mask)
+                    regs[out] = np.bitwise_or(
+                        np.bitwise_and(regs[set_vid], mask),
+                        np.bitwise_and(regs[clear_vid], inv),
+                    )
+        return [regs[vid] for vid in self._output_vids]
+
+    def run(
+        self,
+        inputs: Mapping[str, PlaneVector],
+        masks: Optional[Mapping[str, Sequence[int]]] = None,
+    ) -> Dict[str, PlaneVector]:
+        """Name-keyed execution over :class:`PlaneVector` s.
+
+        Mask streams may be plain 0/1 bit sequences (broadcast here) or
+        prebuilt lane-word mask arrays.  All inputs must share one batch
+        layout.
+        """
+        vectors = []
+        for name in self.input_names:
+            if name not in inputs:
+                raise KeyError(f"program {self.program.ir.name!r} needs input {name!r}")
+            vectors.append(inputs[name])
+        first = vectors[0]
+        for vector in vectors[1:]:
+            if vector.array.shape != first.array.shape or vector.lanes != first.lanes:
+                raise ValueError(
+                    f"inputs of one batch expected: {vector.lanes} lanes "
+                    f"{vector.array.shape} vs {first.lanes} lanes {first.array.shape}"
+                )
+        mask_arrays = []
+        for name in self.mask_names:
+            if masks is None or name not in masks:
+                raise KeyError(f"program {self.program.ir.name!r} needs mask {name!r}")
+            stream = masks[name]
+            if isinstance(stream, (list, tuple)):
+                stream = self.executor.broadcast_bits(stream)
+            if stream.shape != (first.lane_words,):
+                raise ValueError(
+                    f"mask {name!r} shape {stream.shape} does not cover "
+                    f"{first.lane_words} lane words; build it with broadcast_bits "
+                    "over the same batch"
+                )
+            mask_arrays.append(stream)
+        outputs = self.run_arrays([vector.array for vector in vectors], mask_arrays)
+        return {
+            name: PlaneVector(array, first.lanes)
+            for name, array in zip(self.output_names, outputs)
+        }
+
+    def describe(self) -> str:
+        """Structural summary of the scheduled program plus the substrate."""
+        return f"{self.program.describe()} on {self.executor.sliced.describe()}"
+
+
+class PlaneIRExecutor:
+    """The plane-resident *IR executor* capability of a bitsliced backend.
+
+    This is the redesigned surface that replaces the op-by-op
+    :class:`PlaneCompute` methods: a consumer expresses its whole formula
+    as a :class:`~repro.backends.ir.FieldIR`, schedules it once
+    (:func:`~repro.backends.ir.schedule_program`), hands the result to
+    :meth:`compile`, and executes the returned :class:`CompiledPlaneIR`
+    per step.  Only the batch boundary stays explicit: :meth:`pack` /
+    :meth:`unpack` for values, :meth:`broadcast_bits` for per-lane control
+    masks.
+
+    Compiled lowerings are memoized per executor, keyed by the program's
+    fingerprint (``FieldProgram.key``), so repeated ladder calls never
+    re-lower.
     """
 
     def __init__(self, field: "GF2mField", sliced: "BitslicedNetlist") -> None:
@@ -286,9 +473,13 @@ class PlaneCompute:
         self.field = field
         self.sliced = sliced
         self.m = sliced.m
-        # Programs keyed by map identity; the strong reference to the map
-        # keeps id() stable for the cache's lifetime.
-        self._programs: dict = {}
+        self._compiled: dict = {}
+        self._live_masks: dict = {}
+
+    @property
+    def chunk_size(self) -> int:
+        """Preferred batch lanes per execution (the netlist's chunk size)."""
+        return self.sliced.chunk_size
 
     # ------------------------------------------------------------- boundary
     def pack(self, values: Sequence[int]) -> PlaneVector:
@@ -302,27 +493,124 @@ class PlaneCompute:
         """Unpack a :class:`PlaneVector` back into field elements (once)."""
         return unpack_planes(_array_to_planes(vector.array), self.m, vector.lanes)
 
-    # ------------------------------------------------------------ operations
+    def broadcast_bits(self, bits: Sequence[int]):
+        """Pack one control bit per lane into a broadcastable lane-word mask.
+
+        Bit ``p`` of the result is ``bits[p] & 1``; dead lanes stay zero.
+        The returned ``(lane_words,)`` array broadcasts over the ``m`` rows
+        of a plane array, driving a whole select pass with one mask.
+        """
+        packed = 0
+        for position, bit in enumerate(bits):
+            if bit & 1:
+                packed |= 1 << position
+        lane_words = lane_words_for(len(bits))
+        return _np.frombuffer(packed.to_bytes(lane_words * 8, "little"), dtype="<u8")
+
+    def _live_lane_words(self, lane_words: int):
+        """An all-live lane mask of ``lane_words`` words (consts prologue)."""
+        mask = self._live_masks.get(lane_words)
+        if mask is None:
+            full = (1 << (lane_words * 64)) - 1
+            mask = _np.frombuffer(full.to_bytes(lane_words * 8, "little"), dtype="<u8")
+            self._live_masks[lane_words] = mask
+        return mask
+
+    # ------------------------------------------------------------- programs
+    def compile(self, program: FieldProgram) -> CompiledPlaneIR:
+        """The memoized plane lowering of a scheduled ``FieldProgram``."""
+        if program.m != self.m:
+            raise ValueError(
+                f"program is scheduled for m={program.m}, executor is m={self.m}"
+            )
+        key = program.key if program.key is not None else id(program)
+        entry = self._compiled.get(key)
+        if entry is None or entry[0] is not program:
+            entry = (program, CompiledPlaneIR(self, program))
+            self._compiled[key] = entry
+        return entry[1]
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and benchmarks."""
+        return f"FieldIR plane executor on {self.sliced.describe()}"
+
+
+def _warn_plane_compute(method: str) -> None:
+    warnings.warn(
+        f"PlaneCompute.{method}() is deprecated; express the formula as a "
+        "FieldIR (repro.backends.ir) and execute it through "
+        "FieldBackend.ir_executor() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class PlaneCompute:
+    """Deprecated op-by-op plane interface, kept as shims over FieldIR.
+
+    The five operation methods (:meth:`multiply_planes`,
+    :meth:`apply_linear_planes`, :meth:`xor_planes`, :meth:`broadcast_bits`,
+    :meth:`select_planes`) predate the formula compiler: consumers drove
+    the plane domain one hand-scheduled op at a time.  They now emit
+    ``DeprecationWarning`` and delegate to single-op
+    :class:`~repro.backends.ir.FieldIR` programs executed through the
+    bound :class:`PlaneIRExecutor` — same results, one code path — the same
+    shim pattern :mod:`repro.engine.cache` used for its module move.  New
+    code should trace a whole formula and use
+    :meth:`~repro.backends.base.FieldBackend.ir_executor` directly; the
+    batch boundary (:meth:`pack` / :meth:`unpack`) remains un-deprecated
+    and simply forwards to the executor.
+    """
+
+    def __init__(
+        self,
+        field: "GF2mField",
+        sliced: "BitslicedNetlist",
+        executor: Optional[PlaneIRExecutor] = None,
+    ) -> None:
+        _require_numpy()
+        self.field = field
+        self.sliced = sliced
+        self.m = sliced.m
+        self._executor = executor if executor is not None else PlaneIRExecutor(field, sliced)
+
+    # ------------------------------------------------------------- boundary
+    def pack(self, values: Sequence[int]) -> PlaneVector:
+        """Pack validated field elements into a :class:`PlaneVector` (once)."""
+        return self._executor.pack(values)
+
+    def unpack(self, vector: PlaneVector) -> List[int]:
+        """Unpack a :class:`PlaneVector` back into field elements (once)."""
+        return self._executor.unpack(vector)
+
+    # -------------------------------------------------------- deprecated ops
+    def _run_single_op(
+        self, program: FieldProgram, vectors: Sequence[PlaneVector], mask=None
+    ) -> List[PlaneVector]:
+        compiled = self._executor.compile(program)
+        outputs = compiled.run_arrays(
+            [vector.array for vector in vectors], [] if mask is None else [mask]
+        )
+        lanes = vectors[0].lanes
+        return [PlaneVector(array, lanes) for array in outputs]
+
     def multiply_planes(
         self,
         a: Union[PlaneVector, Sequence[PlaneVector]],
         b: Union[PlaneVector, Sequence[PlaneVector]],
     ) -> Union[PlaneVector, List[PlaneVector]]:
-        """Full products entirely in the plane domain.
+        """Deprecated: full products via a single-op (or k-op) IR program.
 
-        With two :class:`PlaneVector` s, one netlist evaluation returns their
-        elementwise product.  With two equal-length sequences, the operands
-        are lane-stacked and **all** products come out of a single netlist
-        evaluation — the per-step ladder multiplications cost two passes
-        total instead of one per product.  Every operand pair must share
-        its lane layout; a mismatch raises instead of slicing products at
-        the wrong word offsets.
+        Sequences lane-stack exactly as before — the scheduled k-product
+        program has one ``MulPass``, which the executor evaluates as one
+        netlist pass over the concatenated lanes.
         """
+        _warn_plane_compute("multiply_planes")
         if isinstance(a, PlaneVector):
             if not isinstance(b, PlaneVector):
                 raise TypeError("multiply_planes needs two vectors or two sequences")
             self._check_pair(a, b, "multiply_planes")
-            return PlaneVector(self.sliced.multiply_planes(a.array, b.array), a.lanes)
+            return self._run_single_op(_op_program("mul", self.m, 1), [a, b])[0]
         a_list, b_list = list(a), list(b)
         if len(a_list) != len(b_list):
             raise ValueError(f"operand counts differ: {len(a_list)} vs {len(b_list)}")
@@ -330,28 +618,21 @@ class PlaneCompute:
             return []
         for pair in zip(a_list, b_list):
             self._check_pair(*pair, "multiply_planes")
-        if len(a_list) == 1:
-            return [self.multiply_planes(a_list[0], b_list[0])]
-        np = _np
-        stacked = self.sliced.multiply_planes(
-            np.concatenate([vector.array for vector in a_list], axis=1),
-            np.concatenate([vector.array for vector in b_list], axis=1),
-        )
-        products: List[PlaneVector] = []
-        offset = 0
-        for vector in a_list:
-            width = vector.lane_words
-            products.append(PlaneVector(stacked[:, offset:offset + width], vector.lanes))
-            offset += width
-        return products
+        if len({(vector.lane_words, vector.lanes) for vector in a_list}) > 1:
+            # Pairs of different batches cannot share one IR execution.
+            single = _op_program("mul", self.m, 1)
+            return [
+                self._run_single_op(single, [a_vec, b_vec])[0]
+                for a_vec, b_vec in zip(a_list, b_list)
+            ]
+        program = _op_program("mul", self.m, len(a_list))
+        return self._run_single_op(program, list(a_list) + list(b_list))
 
     def apply_linear_planes(self, linear_map: "GF2LinearMap", vector: PlaneVector) -> PlaneVector:
-        """Apply a GF(2)-linear map (squaring, constant multiply) on planes."""
-        entry = self._programs.get(id(linear_map))
-        if entry is None or entry[0] is not linear_map:
-            entry = (linear_map, plane_program(linear_map))
-            self._programs[id(linear_map)] = entry
-        return PlaneVector(entry[1].apply(vector.array), vector.lanes)
+        """Deprecated: one GF(2)-linear map as a single-op IR program."""
+        _warn_plane_compute("apply_linear_planes")
+        program = _op_program("linear", linear_map.input_bits, linear_map.masks, linear_map)
+        return self._run_single_op(program, [vector])[0]
 
     @staticmethod
     def _check_pair(a: PlaneVector, b: PlaneVector, operation: str) -> None:
@@ -362,49 +643,56 @@ class PlaneCompute:
             )
 
     def xor_planes(self, a: PlaneVector, b: PlaneVector) -> PlaneVector:
-        """Elementwise field addition (plane XOR)."""
+        """Deprecated: field addition as a single-op IR program."""
+        _warn_plane_compute("xor_planes")
         self._check_pair(a, b, "xor_planes")
-        return PlaneVector(_np.bitwise_xor(a.array, b.array), a.lanes)
+        return self._run_single_op(_op_program("xor", self.m), [a, b])[0]
 
     def broadcast_bits(self, bits: Sequence[int]):
-        """Pack one control bit per lane into a broadcastable lane-word mask.
-
-        Bit ``p`` of the result is ``bits[p] & 1``; dead lanes stay zero.
-        The returned ``(lane_words,)`` array broadcasts over the ``m`` rows
-        of a plane array, so one mask drives a whole :meth:`select_planes`.
-        """
-        packed = 0
-        for position, bit in enumerate(bits):
-            if bit & 1:
-                packed |= 1 << position
-        lane_words = lane_words_for(len(bits))
-        return _np.frombuffer(packed.to_bytes(lane_words * 8, "little"), dtype="<u8")
+        """Deprecated: build control masks via :meth:`PlaneIRExecutor.broadcast_bits`."""
+        _warn_plane_compute("broadcast_bits")
+        return self._executor.broadcast_bits(bits)
 
     def select_planes(self, mask, when_set: PlaneVector, when_clear: PlaneVector) -> PlaneVector:
-        """Per-lane select: ``when_set`` where the mask bit is 1, else ``when_clear``.
-
-        This is how scalar-bit-dependent ladder swaps stay in the plane
-        domain with mixed control bits across the batch — no unpacking, no
-        per-lane branches.  The mask must cover the vectors' lane words
-        exactly (one bit per lane, as built by :meth:`broadcast_bits` for
-        the same batch size); a narrower mask would silently broadcast
-        lane 0-63 control bits over every word, so it is rejected.
-        """
-        np = _np
+        """Deprecated: per-lane select as a single-op IR program."""
+        _warn_plane_compute("select_planes")
         self._check_pair(when_set, when_clear, "select_planes")
         if mask.shape != (when_set.lane_words,):
             raise ValueError(
                 f"mask shape {mask.shape} does not cover {when_set.lane_words} lane words; "
                 "build it with broadcast_bits over the same batch"
             )
-        return PlaneVector(
-            np.bitwise_or(
-                np.bitwise_and(when_set.array, mask),
-                np.bitwise_and(when_clear.array, np.bitwise_not(mask)),
-            ),
-            when_set.lanes,
-        )
+        program = _op_program("select", self.m)
+        return self._run_single_op(program, [when_set, when_clear], mask=mask)[0]
 
     def describe(self) -> str:
         """One-line summary used by the CLI and benchmarks."""
         return f"plane-resident compute on {self.sliced.describe()}"
+
+
+def _op_program(kind: str, m: int, extra=None, linear_map=None) -> FieldProgram:
+    """Memoized single-op FieldIR programs backing the PlaneCompute shims."""
+    key = ("plane-shim", kind, m, extra)
+
+    def build() -> FieldProgram:
+        builder = IRBuilder(f"plane_{kind}")
+        if kind == "mul":
+            count = extra
+            a_vars = [builder.input(f"a{i}") for i in range(count)]
+            b_vars = [builder.input(f"b{i}") for i in range(count)]
+            for i in range(count):
+                builder.output(f"p{i}", builder.mul(a_vars[i], b_vars[i]))
+            return schedule_program(builder.build(), m, {}, key=key)
+        if kind == "linear":
+            builder.output("y", builder.apply_linear("map", builder.input("x")))
+            return schedule_program(builder.build(), m, {"map": linear_map}, key=key)
+        if kind == "xor":
+            builder.output("y", builder.xor(builder.input("a"), builder.input("b")))
+            return schedule_program(builder.build(), m, {}, key=key)
+        bit = builder.mask_input("bit")
+        builder.output(
+            "y", builder.select(bit, builder.input("when_set"), builder.input("when_clear"))
+        )
+        return schedule_program(builder.build(), m, {}, key=key)
+
+    return cached_program(key, build)

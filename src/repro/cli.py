@@ -22,6 +22,10 @@ Subcommands
 ``batch``, ``bench``, ``ecdh`` and ``sweep`` accept ``--backend``
 (``python`` | ``engine`` | ``bitslice``, see :mod:`repro.backends`); the
 ``GF2M_REPRO_BACKEND`` environment variable sets the process default.
+The flag is declared once on a shared parent parser (as are ``--method``
+for ``batch``/``bench`` and ``--ladder`` for ``ecdh``) and resolved at a
+single site, :func:`_resolve_cli_backend` — subcommands cannot drift
+apart in spelling, defaults or error behavior.
 """
 
 from __future__ import annotations
@@ -61,6 +65,34 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Reconfigurable implementation of GF(2^m) bit-parallel multipliers' (DATE 2018)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Shared option groups, declared once.  Every backend-aware subcommand
+    # inherits the same --backend flag (and batch/bench the same --method,
+    # ecdh the same --ladder) from these parents, and all of them resolve
+    # through the one _resolve_cli_backend site below.
+    backend_parent = argparse.ArgumentParser(add_help=False)
+    backend_parent.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="execution backend (default: $GF2M_REPRO_BACKEND or per-field resolution); "
+        "for 'sweep' it is also part of the artifact cache key",
+    )
+    method_parent = argparse.ArgumentParser(add_help=False)
+    method_parent.add_argument(
+        "--method",
+        default=None,
+        help="circuit construction for circuit backends (default thiswork for type II fields)",
+    )
+    ladder_parent = argparse.ArgumentParser(add_help=False)
+    ladder_parent.add_argument(
+        "--ladder",
+        choices=["auto", "planes", "steps"],
+        default="auto",
+        help="batched-ladder path: 'planes' demands the plane-resident FieldIR executor, "
+        "'steps' pins the per-step batch path, 'auto' (default) compiles to planes when "
+        "the backend supports it",
+    )
 
     def add_field_arguments(subparser: argparse.ArgumentParser) -> None:
         subparser.add_argument("-m", type=int, default=8, help="field degree m (default 8)")
@@ -108,7 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_arguments(compare)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a field x method x device x effort grid through the parallel pipeline"
+        "sweep",
+        parents=[backend_parent],
+        help="run a field x method x device x effort grid through the parallel pipeline",
     )
     sweep.add_argument(
         "--fields",
@@ -124,12 +158,6 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--efforts", default="2", help="comma separated mapping efforts (default 2)")
     sweep.add_argument("--format", choices=["table", "json", "csv"], default="table")
     sweep.add_argument("--stats", action="store_true", help="also print per-run scheduler/cache statistics")
-    sweep.add_argument(
-        "--backend",
-        default=None,
-        choices=available_backends(),
-        help="execution backend the jobs run (and are cached) under; part of the artifact cache key",
-    )
     add_cache_arguments(sweep)
 
     emit = subparsers.add_parser("emit", help="emit HDL for one multiplier")
@@ -139,22 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
     emit.add_argument("--testbench", action="store_true", help="also emit a VHDL testbench")
     emit.add_argument("--output", default="-", help="output file (default stdout)")
 
-    def add_backend_argument(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument(
-            "--backend",
-            default=None,
-            choices=available_backends(),
-            help="execution backend (default: $GF2M_REPRO_BACKEND or per-field resolution)",
-        )
-
-    batch = subparsers.add_parser("batch", help="multiply operand streams through a batch backend")
-    add_field_arguments(batch)
-    batch.add_argument(
-        "--method",
-        default=None,
-        help="circuit construction for circuit backends (default thiswork for type II fields)",
+    batch = subparsers.add_parser(
+        "batch",
+        parents=[backend_parent, method_parent],
+        help="multiply operand streams through a batch backend",
     )
-    add_backend_argument(batch)
+    add_field_arguments(batch)
     batch.add_argument("--count", type=int, default=1000, help="number of random operand pairs (default 1000)")
     batch.add_argument("--seed", type=int, default=2018, help="seed for the random operand stream")
     batch.add_argument("--input", help="file with one 'hexA hexB' pair per line instead of random operands")
@@ -167,34 +185,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--output", default="-", help="output file for hex products (default stdout)")
 
     bench = subparsers.add_parser(
-        "bench", help="throughput of one field: backend vs scalar reference (or interpreted vs compiled)"
+        "bench",
+        parents=[backend_parent, method_parent],
+        help="throughput of one field: backend vs scalar reference (or interpreted vs compiled)",
     )
     add_field_arguments(bench)
-    bench.add_argument(
-        "--method",
-        default=None,
-        help="circuit construction (default thiswork for type II fields)",
-    )
-    add_backend_argument(bench)
     bench.add_argument(
         "--check", action="store_true",
         help="with --backend: cross-check every product against the scalar reference",
     )
     bench.add_argument("--pairs", type=int, default=2048, help="operand pairs per measurement (default 2048)")
     bench.add_argument("--quick", action="store_true", help="small fast run for CI smoke tests")
+    bench.add_argument(
+        "--describe", action="store_true",
+        help="print the FieldIR pass schedule of the López-Dahab ladder step (and its compiled "
+        "plane lowering when the backend has one) instead of benchmarking",
+    )
 
     subparsers.add_parser("curves", help="list the elliptic-curve catalog")
 
-    ecdh = subparsers.add_parser("ecdh", help="batched ECDH key agreement workload on one curve")
-    ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
-    add_backend_argument(ecdh)
-    ecdh.add_argument(
-        "--ladder",
-        choices=["auto", "planes", "steps"],
-        default="auto",
-        help="batched-ladder path: 'planes' demands the plane-resident capability, 'steps' pins "
-        "the per-step batch path, 'auto' (default) uses planes when the backend supports it",
+    ecdh = subparsers.add_parser(
+        "ecdh",
+        parents=[backend_parent, ladder_parent],
+        help="batched ECDH key agreement workload on one curve",
     )
+    ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
     ecdh.add_argument("--batch", type=int, default=64, help="independent key agreements per side (default 64)")
     ecdh.add_argument("--jobs", type=int, default=1, help="worker processes sharding the batch (default 1)")
     ecdh.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
@@ -344,7 +359,48 @@ def _run_bench_backend(args) -> int:
     return 0
 
 
+def _run_bench_describe(args) -> int:
+    """``repro bench --describe``: the formula compiler's pass schedule.
+
+    Prints the scheduled López-Dahab ladder-step :class:`FieldProgram` for
+    the bench field — the headline consumer of the formula compiler — and,
+    when the resolved backend advertises a plane IR executor, its compiled
+    plane lowering.  A catalog curve over the bench field supplies the
+    curve constant ``b``; fields without a catalog curve describe the
+    schedule with ``b = 1``, which has the identical pass structure.
+    """
+    from .backends.ir import schedule_program
+    from .curves.formulas import ladder_step_ir, ladder_step_program
+
+    modulus = type_ii_pentanomial(args.m, args.n)
+    field = GF2mField(modulus, check_irreducible=False)
+    backend = _resolve_cli_backend(field, args.backend, method=args.method, verify=args.m <= 16)
+    curve = next(
+        (curve_by_name(spec.name) for spec in CURVES if (spec.m, spec.n) == (args.m, args.n)),
+        None,
+    )
+    if curve is not None:
+        program = ladder_step_program(curve)
+        print(f"formula: López-Dahab ladder step on {curve.name}")
+    else:
+        program = schedule_program(
+            ladder_step_ir(), field.m,
+            {"square": field.square_map, "mul_b": field.constant_multiplier(1)},
+        )
+        print(f"formula: López-Dahab ladder step over GF(2^{args.m}) (no catalog curve; b=1)")
+    print(backend.describe())
+    print(program.describe())
+    executor = backend.ir_executor()
+    if executor is None:
+        print(f"backend {backend.name!r} has no plane IR executor; the program runs interpreted")
+    else:
+        print(f"compiled: {executor.compile(program).describe()}")
+    return 0
+
+
 def _run_bench(args) -> int:
+    if args.describe:
+        return _run_bench_describe(args)
     if args.backend or os.environ.get(BACKEND_ENV_VAR):
         # An explicit flag or the process-wide env default selects the
         # backend-vs-scalar comparison (a bad env value fails loudly there).
@@ -432,10 +488,10 @@ def _run_ecdh(args) -> int:
     # Resolve eagerly so a bad backend (or missing numpy) fails before work.
     resolved = _resolve_cli_backend(curve.field, args.backend)
     plane_resident = {"auto": None, "planes": True, "steps": False}[args.ladder]
-    if plane_resident and resolved.plane_compute() is None:
+    if plane_resident and resolved.ir_executor() is None:
         raise SystemExit(
-            f"--ladder planes needs a plane-resident backend; {resolved.name!r} has no such "
-            "capability (use --backend bitslice)"
+            f"--ladder planes needs a plane-resident backend (one with a FieldIR plane "
+            f"executor); {resolved.name!r} has no such capability (use --backend bitslice)"
         )
     print(curve.describe())
 
@@ -483,7 +539,7 @@ def _run_ecdh(args) -> int:
     keygen_rate = 2 * args.batch / keygen_s if keygen_s > 0 else float("inf")
     agree_rate = ladders / agree_s if agree_s > 0 else float("inf")
     backend_label = args.backend or default_backend_name(curve.field)
-    if plane_resident is False or resolved.plane_compute() is None:
+    if plane_resident is False or resolved.ir_executor() is None:
         ladder_label = "per-step ladder"
     else:
         ladder_label = "plane-resident ladder"

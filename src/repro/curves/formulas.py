@@ -1,0 +1,201 @@
+"""The curve formulas, each traced exactly once as a :class:`FieldIR`.
+
+Before the formula compiler, every consumer of the López-Dahab step carried
+its own copy of the formula: the scalar ladder in
+:meth:`~repro.curves.point.BinaryCurve._ladder_ld`, a hand-written
+gather/batch version in ``_ladder_ld_batch``, and a hand-scheduled plane
+version in ``_ladder_ld_planes`` — three schedules to keep in sync.  This
+module replaces the latter two: the **step**, the **y-recovery** and the
+**curve-equation residual** are traced once as straight-line
+:class:`~repro.backends.ir.FieldIR` and scheduled once per curve through
+the level-scheduling fusion pass (:func:`~repro.backends.ir
+.schedule_program`).  Plane-capable backends compile the scheduled program
+into fused uint64 plane passes
+(:meth:`~repro.backends.base.FieldBackend.ir_executor`); every other
+backend interprets the same program with
+:func:`~repro.backends.ir.execute_program`, which derives the per-step
+``multiply_batch`` gathers from the schedule instead of hand-written loops.
+The scalar ladder stays as the untouched independent reference the tests
+compare both executions against.
+
+Scheduled programs are memoized process-wide
+(:func:`~repro.backends.ir.cached_program`) keyed by the curve fingerprint
+(modulus plus the participating curve constants), and each plane executor
+additionally memoizes its lowering by the same key — so the full chain is
+cached per curve × backend × chunk and repeated ECDH calls never re-trace,
+re-schedule or re-lower.
+
+Formula conventions
+-------------------
+All programs use the one-bit-per-lane masked-select convention of the
+batched ladder: ``select(bit, a, b)`` yields ``a`` on lanes whose scalar
+bit is set.  The ladder-step registers follow López & Dahab 1999 (HMV
+Alg. 3.40): ``R0 = (x1 : z1)``, ``R1 = (x2 : z2)``, invariant
+``R1 - R0 = P`` with ``P = (x, y)`` the affine base point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..backends.ir import FieldIR, FieldProgram, IRBuilder, cached_program, schedule_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .point import BinaryCurve
+
+__all__ = [
+    "ladder_step_ir",
+    "ladder_step_program",
+    "recover_denominator_program",
+    "recover_affine_program",
+    "on_curve_residual_program",
+]
+
+
+def ladder_step_ir() -> FieldIR:
+    """One full López-Dahab Montgomery step as a traced formula.
+
+    Inputs ``x1 z1 x2 z2`` are the ladder registers, ``x`` the affine base
+    x-coordinate; mask ``bit`` is the scalar bit of the step.  Outputs
+    ``x1n z1n x2n z2n`` are the post-step registers.  The five products,
+    six squarings (collapsing to three composed maps), the multiply-by-b
+    and the masked swaps fuse into six passes when scheduled:
+    ``select×2 → mul×3 → linear → mul×2 → linear → select×4``.
+    """
+    builder = IRBuilder("ld_step")
+    x1, z1 = builder.input("x1"), builder.input("z1")
+    x2, z2 = builder.input("x2"), builder.input("z2")
+    base = builder.input("x")
+    bit = builder.mask_input("bit")
+    # The register being doubled this step (R1 when the bit is set).
+    xd = builder.select(bit, x2, x1)
+    zd = builder.select(bit, z2, z1)
+    # Madd cross terms and the Mdouble X*Z product — one lane-stacked pass.
+    t1 = builder.mul(x1, z2)
+    t2 = builder.mul(x2, z1)
+    xz = builder.mul(xd, zd)
+    # Everything linear between the product levels fuses into one stage;
+    # square∘square and mul_b∘square∘square collapse into composed maps.
+    z_sum = builder.square(builder.xor(t1, t2))
+    z_dbl = builder.square(xz)
+    x_dbl = builder.xor(
+        builder.square(builder.square(xd)),
+        builder.apply_linear("mul_b", builder.square(builder.square(zd))),
+    )
+    # Madd's T1*T2 and x*Z_sum — the second lane-stacked pass.
+    x_sum = builder.xor(builder.mul(t1, t2), builder.mul(base, z_sum))
+    builder.output("x1n", builder.select(bit, x_sum, x_dbl))
+    builder.output("z1n", builder.select(bit, z_sum, z_dbl))
+    builder.output("x2n", builder.select(bit, x_dbl, x_sum))
+    builder.output("z2n", builder.select(bit, z_dbl, z_sum))
+    return builder.build()
+
+
+def ladder_step_program(curve: "BinaryCurve") -> FieldProgram:
+    """The scheduled ladder step for ``curve`` (memoized per modulus and b)."""
+    field = curve.field
+    key = ("ld-step", field.modulus, curve.b)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            ladder_step_ir(),
+            field.m,
+            {"square": field.square_map, "mul_b": curve._mul_b},
+            key=key,
+        ),
+    )
+
+
+def recover_denominator_program(curve: "BinaryCurve") -> FieldProgram:
+    """Stage one of batched y-recovery: the shared inversion's denominator.
+
+    ``z1z2 = z1·z2`` and ``denom = x·z1·z2`` for every live lane; the
+    caller feeds ``denom`` through the backend's Montgomery batch inverse
+    (inversion is not a straight-line field op, so it stays outside the
+    IR) and hands ``inv`` to :func:`recover_affine_program`.
+    """
+    field = curve.field
+    key = ("ld-recover-denom", field.modulus)
+
+    def build() -> FieldProgram:
+        builder = IRBuilder("ld_recover_denominator")
+        base = builder.input("x")
+        z1, z2 = builder.input("z1"), builder.input("z2")
+        z1z2 = builder.mul(z1, z2)
+        builder.output("z1z2", z1z2)
+        builder.output("denom", builder.mul(base, z1z2))
+        return schedule_program(builder.build(), field.m, {}, key=key)
+
+    return cached_program(key, build)
+
+
+def recover_affine_program(curve: "BinaryCurve") -> FieldProgram:
+    """Stage two of batched y-recovery: affine ``(x3, y3)`` from the inverse.
+
+    Same algebra as the scalar :meth:`~repro.curves.point.BinaryCurve
+    ._ladder_recover`, rearranged by the scheduler into four product
+    levels (``mul×4 → mul×3 → mul → mul``) with the XOR work fused
+    between them.  ``y3`` already includes the final ``⊕ y``.
+    """
+    field = curve.field
+    key = ("ld-recover-affine", field.modulus)
+
+    def build() -> FieldProgram:
+        builder = IRBuilder("ld_recover_affine")
+        base, base_y = builder.input("x"), builder.input("y")
+        x1, x2 = builder.input("x1"), builder.input("x2")
+        z1, z2 = builder.input("z1"), builder.input("z2")
+        z1z2, inv = builder.input("z1z2"), builder.input("inv")
+        x1z2 = builder.mul(x1, z2)
+        xz1 = builder.mul(base, z1)
+        xz2 = builder.mul(base, z2)
+        xinv = builder.mul(base, inv)
+        left_in = builder.xor(x1, xz1)
+        right_in = builder.xor(x2, xz2)
+        trace_in = builder.xor(builder.square(base), base_y)
+        x3 = builder.mul(x1z2, xinv)
+        left = builder.mul(left_in, right_in)
+        right = builder.mul(trace_in, z1z2)
+        numerator = builder.mul(builder.xor(base, x3), builder.xor(left, right))
+        y3 = builder.xor(builder.mul(numerator, inv), base_y)
+        builder.output("x3", x3)
+        builder.output("y3", y3)
+        return schedule_program(builder.build(), field.m, {"square": field.square_map}, key=key)
+
+    return cached_program(key, build)
+
+
+def on_curve_residual_program(curve: "BinaryCurve") -> FieldProgram:
+    """The curve-equation residual ``y² + xy + x³ + a·x² + b`` per lane.
+
+    Zero exactly when ``(x, y)`` satisfies the equation — the batched
+    internal-consistency check evaluates this with one lane-stacked
+    product pass (``x·y`` and ``x²·x``) and one fused linear stage
+    (``y²``, ``a·x²`` as a constant-multiplier map, the XOR tree, and the
+    hoisted constant ``b``).
+    """
+    field = curve.field
+    key = ("on-curve", field.modulus, curve.a, curve.b)
+
+    def build() -> FieldProgram:
+        builder = IRBuilder("on_curve_residual")
+        x, y = builder.input("x"), builder.input("y")
+        x_squared = builder.square(x)
+        xy = builder.mul(x, y)
+        x_cubed = builder.mul(x_squared, x)
+        residual = builder.xor(
+            builder.square(y),
+            xy,
+            x_cubed,
+            builder.apply_linear("mul_a", x_squared),
+            builder.const(curve.b),
+        )
+        builder.output("residual", residual)
+        return schedule_program(
+            builder.build(),
+            field.m,
+            {"square": field.square_map, "mul_a": field.constant_multiplier(curve.a)},
+            key=key,
+        )
+
+    return cached_program(key, build)

@@ -76,7 +76,10 @@ class TestPlaneCapability:
 
 
 @requires_numpy
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestPlaneVectorRoundtrip:
+    """Exercises the deprecated PlaneCompute op shims (see tests/test_ir.py)."""
+
     def test_pack_unpack_is_identity(self):
         planes = get_backend("bitslice", GF2_163).plane_compute()
         rng = random.Random(5)
@@ -125,7 +128,10 @@ class TestPlaneVectorRoundtrip:
 
 
 @requires_numpy
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestPlaneProgram:
+    """Exercises the deprecated apply_linear_planes shim (see tests/test_ir.py)."""
+
     def test_square_program_matches_scalar_map(self):
         field = GF2_163
         planes = get_backend("bitslice", field).plane_compute()
