@@ -1,0 +1,108 @@
+"""Shared measurement and report-emission helpers for the BENCH_* scripts.
+
+Every benchmark in this directory follows the same discipline:
+
+* **warm-up outside the timed region** — one untimed call at full batch
+  width absorbs one-time costs (circuit generation, extension compilation,
+  lane-buffer allocation) before any clock starts;
+* **best-of-N timing** — the fastest of ``repeats`` runs is reported,
+  damping scheduler noise on shared CI machines, with every repeated
+  result asserted identical to the warm-up result (a benchmark that is
+  not deterministic is not measuring anything);
+* **one committed JSON schema** — ``{bench, commit_pr, config, results}``
+  with a ``platform`` block inside ``config``, written with stable key
+  order so refreshed trajectory snapshots diff cleanly.
+
+The timing loops and the JSON writer live here so the individual scripts
+(:mod:`bench_backends`, :mod:`bench_plane_ladder`, :mod:`bench_fused_step`,
+:mod:`bench_native`) hold only what is unique to each: the workload, the
+grid, and the asserted floors.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+
+def best_of(callable_: "Callable[[], Any]", repeats: int) -> "Tuple[Any, float]":
+    """(result, best seconds) over ``repeats`` timed calls (first is warm-up).
+
+    The warm-up result is the reference: every timed repetition must
+    reproduce it byte for byte or the measurement aborts.
+    """
+    result = callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        repeated = callable_()
+        best = min(best, time.perf_counter() - start)
+        if repeated != result:
+            raise AssertionError("benchmark workload is not deterministic")
+    return result, best
+
+
+def best_of_interleaved(
+    callables: "Sequence[Callable[[], Any]]", repeats: int
+) -> "List[Tuple[Any, float]]":
+    """Per-callable (result, best seconds), the timed calls interleaved.
+
+    Shared runners see load spikes lasting whole seconds; timing each path
+    in its own contiguous block hands whichever ran in the quiet window an
+    unearned win.  Round-robin interleaving gives every path one sample per
+    load regime, and best-of picks each path's quiet-window figure.
+    """
+    results = [callable_() for callable_ in callables]
+    bests = [float("inf")] * len(callables)
+    for _ in range(repeats):
+        for index, callable_ in enumerate(callables):
+            start = time.perf_counter()
+            repeated = callable_()
+            bests[index] = min(bests[index], time.perf_counter() - start)
+            if repeated != results[index]:
+                raise AssertionError("benchmark workload is not deterministic")
+    return list(zip(results, bests))
+
+
+def rate(count: int, seconds: float) -> float:
+    """Operations per second, infinity-safe for sub-resolution timings."""
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def platform_block() -> "Dict[str, str]":
+    """The ``config.platform`` stamp shared by every committed BENCH_* file."""
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(
+    path: str,
+    bench: str,
+    commit_pr: int,
+    config: "Dict[str, Any]",
+    results: "List[Dict[str, Any]]",
+) -> None:
+    """Write one trajectory report in the shared BENCH_* schema.
+
+    ``config`` gains the :func:`platform_block` stamp (an explicit
+    ``platform`` key in ``config`` wins, for replaying foreign reports);
+    keys are sorted and the file ends in a newline so committed snapshots
+    diff cleanly across refreshes.
+    """
+    payload = {
+        "bench": bench,
+        "commit_pr": commit_pr,
+        "config": {"platform": platform_block(), **config},
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")

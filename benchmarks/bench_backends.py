@@ -1,10 +1,11 @@
-"""Backend throughput — python (scalar) vs engine (big-int) vs bitslice (numpy).
+"""Backend throughput — python (scalar) vs engine vs bitslice vs native (C).
 
-Runs every registered execution backend (:mod:`repro.backends`) over the
-PR 1 throughput grid — the NIST fields m ∈ {163, 233, 283} at 2048 operand
-pairs — asserts cross-backend byte-parity on every measured batch, and
-emits a machine-readable JSON report (``BENCH_backends.json``, schema
-``{bench, commit_pr, config, results}``).  A snapshot of that file is
+Runs every registered execution backend (:mod:`repro.backends`) available
+on this machine over the PR 1 throughput grid — the NIST fields
+m ∈ {163, 233, 283} at 2048 operand pairs — asserts cross-backend
+byte-parity on every measured batch, and emits a machine-readable JSON
+report (``BENCH_backends.json``, schema
+``{bench, commit_pr, config, results}`` via :mod:`_harness`).  A snapshot of that file is
 committed at the repo root as the in-repo performance trajectory, and CI
 additionally uploads the freshly measured one as a workflow artifact.
 
@@ -24,11 +25,9 @@ throughput figures — the backend caches amortize them across calls.
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import random
-import time
 
+from _harness import best_of, rate, write_bench_json
 from repro.backends import available_backends, get_backend, numpy_available
 from repro.galois.field import GF2mField
 from repro.galois.pentanomials import smallest_type_ii_pentanomial, type_ii_parameters
@@ -46,7 +45,7 @@ SCALAR_PAIRS = 512
 BITSLICE_FLOOR = 5.0
 
 #: The PR that produced the committed trajectory snapshot (JSON schema field).
-COMMIT_PR = 5
+COMMIT_PR = 7
 
 
 def measure_backend(backend, a_values, b_values, measure_pairs=None, repeats=3):
@@ -59,15 +58,8 @@ def measure_backend(backend, a_values, b_values, measure_pairs=None, repeats=3):
     """
     pairs = len(a_values) if measure_pairs is None else min(measure_pairs, len(a_values))
     a_measured, b_measured = a_values[:pairs], b_values[:pairs]
-    products = backend.multiply_batch(a_measured, b_measured)  # warm at full width
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        repeated = backend.multiply_batch(a_measured, b_measured)
-        best = min(best, time.perf_counter() - start)
-        if repeated != products:
-            raise AssertionError(f"{backend.name} backend is not deterministic")
-    return products, pairs / best if best > 0 else float("inf")
+    products, best = best_of(lambda: backend.multiply_batch(a_measured, b_measured), repeats)
+    return products, rate(pairs, best)
 
 
 def measure_field(m, pairs=DEFAULT_PAIRS, backends=None, seed=2018):
@@ -84,7 +76,14 @@ def measure_field(m, pairs=DEFAULT_PAIRS, backends=None, seed=2018):
     reference = None
     scalar_rate = None
     for name in backends or available_backends():
-        backend = get_backend(name, field)
+        try:
+            backend = get_backend(name, field)
+        except ImportError:
+            # Optional substrates (numpy for bitslice, a C compiler for
+            # native) may be absent; the grid covers what this machine has.
+            if name == "python":
+                raise
+            continue
         measure_pairs = SCALAR_PAIRS if not backend.capabilities.vectorized else None
         products, rate = measure_backend(backend, a_values, b_values, measure_pairs)
         if reference is None:
@@ -181,23 +180,13 @@ def main(argv=None):
     rows = [row for m in fields for row in measure_field(m, pairs=args.pairs)]
     print(report(rows))
     if args.json:
-        payload = {
-            "bench": "backends",
-            "commit_pr": COMMIT_PR,
-            "config": {
-                "fields": fields,
-                "pairs": args.pairs,
-                "platform": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                },
-            },
-            "results": rows,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
+        write_bench_json(
+            args.json,
+            "backends",
+            COMMIT_PR,
+            {"fields": fields, "pairs": args.pairs},
+            rows,
+        )
     if 163 in fields and args.pairs >= DEFAULT_PAIRS:
         speedup = bitslice_speedup(rows)
         if speedup < BITSLICE_FLOOR:

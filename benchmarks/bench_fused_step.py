@@ -32,14 +32,11 @@ Run standalone::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import random
-import time
 import warnings
 
+from _harness import best_of_interleaved, rate, write_bench_json
 from repro.backends import get_backend, numpy_available
-from repro.backends.planes import PlaneVector
 from repro.curves import curve_by_name, ecdh_batch
 from repro.curves.formulas import ladder_step_program
 
@@ -58,27 +55,7 @@ ECDH_PLANE_FLOOR = 2.0
 PR5_PLANE_BASELINE = 388.0
 
 #: The committed-JSON schema version shared by the BENCH_* trajectory files.
-COMMIT_PR = 6
-
-
-def _best_of_interleaved(callables, repeats: int):
-    """Per-callable (result, best seconds), the timed calls interleaved.
-
-    Shared runners see load spikes lasting whole seconds; timing each path
-    in its own contiguous block hands whichever ran in the quiet window an
-    unearned win.  Round-robin interleaving gives every path one sample per
-    load regime, and best-of picks each path's quiet-window figure.
-    """
-    results = [callable_() for callable_ in callables]
-    bests = [float("inf")] * len(callables)
-    for _ in range(repeats):
-        for index, callable_ in enumerate(callables):
-            start = time.perf_counter()
-            repeated = callable_()
-            bests[index] = min(bests[index], time.perf_counter() - start)
-            if repeated != results[index]:
-                raise AssertionError("batched ladder is not deterministic")
-    return list(zip(results, bests))
+COMMIT_PR = 7
 
 
 def _fused_ladder(backend, curve, base_x, scalars):
@@ -94,7 +71,7 @@ def _fused_ladder(backend, curve, base_x, scalars):
     for bit_index in range(max(s.bit_length() for s in scalars) - 1, -1, -1):
         mask = executor.broadcast_bits([(s >> bit_index) & 1 for s in scalars])
         x1, z1, x2, z2 = compiled.run_arrays((x1, z1, x2, z2, base), (mask,))
-    return tuple(executor.unpack(PlaneVector(a, count)) for a in (x1, z1, x2, z2))
+    return tuple(executor.unpack(executor.vector(a, count)) for a in (x1, z1, x2, z2))
 
 
 def _per_op_ladder(backend, curve, base_x, scalars):
@@ -152,7 +129,7 @@ def measure_fused_step(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=3,
         (per_op_state, per_op_s),
         (plane_shared, plane_s),
         (steps_shared, steps_s),
-    ) = _best_of_interleaved(
+    ) = best_of_interleaved(
         [
             lambda: _fused_ladder(backend, curve, base_x, privates),
             lambda: _per_op_ladder(backend, curve, base_x, privates),
@@ -169,17 +146,17 @@ def measure_fused_step(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=3,
         if plane_shared[index] != curve.multiply(peers[index], privates[index]):
             raise AssertionError(f"batched agreement {index} != scalar-ladder reference")
 
-    plane_rate = batch / plane_s if plane_s > 0 else float("inf")
+    plane_rate = rate(batch, plane_s)
     return {
         "curve": curve_name,
         "m": curve.field.m,
         "batch": batch,
         "checked_vs_scalar": min(check, batch),
-        "fused_step_ladders_per_s": batch / fused_s if fused_s > 0 else float("inf"),
-        "per_op_step_ladders_per_s": batch / per_op_s if per_op_s > 0 else float("inf"),
+        "fused_step_ladders_per_s": rate(batch, fused_s),
+        "per_op_step_ladders_per_s": rate(batch, per_op_s),
         "speedup_fused_vs_per_op": per_op_s / fused_s if fused_s > 0 else float("inf"),
         "ecdh_plane_ladders_per_s": plane_rate,
-        "ecdh_steps_ladders_per_s": batch / steps_s if steps_s > 0 else float("inf"),
+        "ecdh_steps_ladders_per_s": rate(batch, steps_s),
         "speedup_ecdh_plane_vs_steps": steps_s / plane_s if plane_s > 0 else float("inf"),
         "pr5_plane_baseline_ladders_per_s": PR5_PLANE_BASELINE,
         "speedup_ecdh_vs_pr5_baseline": plane_rate / PR5_PLANE_BASELINE,
@@ -240,25 +217,13 @@ def main(argv=None):
     row = measure_fused_step(curve_name=args.curve, batch=batch, repeats=repeats)
     print(report([row]))
     if args.json:
-        payload = {
-            "bench": "fused_step",
-            "commit_pr": COMMIT_PR,
-            "config": {
-                "curve": args.curve,
-                "batch": batch,
-                "repeats": repeats,
-                "backend": "bitslice",
-                "platform": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                },
-            },
-            "results": [row],
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
+        write_bench_json(
+            args.json,
+            "fused_step",
+            COMMIT_PR,
+            {"curve": args.curve, "batch": batch, "repeats": repeats, "backend": "bitslice"},
+            [row],
+        )
     _assert_floors(row)
     print(
         f"ok: fused step {row['speedup_fused_vs_per_op']:.2f}x over the per-op path "

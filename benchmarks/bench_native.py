@@ -1,0 +1,160 @@
+"""Native C word-level backend vs bitslice planes — the PR 7 tentpole figure.
+
+Both backends multiply the identical operand streams; the difference is
+the execution substrate.  The ``bitslice`` path evaluates the generated
+multiplier *circuit* on numpy uint64 plane arrays — cost proportional to
+gate count, amortized across 64 lanes per word op, plus two full
+bit-matrix transposes per batch.  The ``native`` path never sees the
+circuit: each product is one carry-less multiplication over ``⌈m/64⌉``
+64-bit words (PCLMULQDQ where the CPU has it, a branch-free shift-and-XOR
+window otherwise) followed by the hard-coded sparse reduction of the
+catalog pentanomial — and operands stay in packed little-endian words, so
+there is no transpose at the batch boundary at all.
+
+The asserted acceptance figure (and the CI gate): ``native`` must beat
+``bitslice`` by ≥ 5× on multiply_batch at m = 163, batch 2048.  Parity of
+both against the scalar reference is asserted on every measured batch.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_native.py --quick --json BENCH_native.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+from _harness import best_of, rate, write_bench_json
+from repro.backends import get_backend, native_available, numpy_available
+from repro.galois.field import GF2mField
+from repro.galois.pentanomials import smallest_type_ii_pentanomial, type_ii_parameters
+
+#: The grid the ≥5× floor is pinned to (plus the second NIST degree).
+FIELDS_M = (163, 233)
+DEFAULT_PAIRS = 2048
+
+#: The asserted acceptance floor: native over bitslice at m=163, batch 2048.
+NATIVE_OVER_BITSLICE_FLOOR = 5.0
+
+#: The committed-JSON schema version shared by the BENCH_* trajectory files.
+COMMIT_PR = 7
+
+
+def measure_native_field(m, pairs=DEFAULT_PAIRS, repeats=3, seed=2018):
+    """One row: native vs bitslice multiply_batch throughput for GF(2^m)."""
+    modulus = smallest_type_ii_pentanomial(m)
+    if modulus is None:
+        raise ValueError(f"no type II pentanomial for m={m}")
+    field = GF2mField(modulus, check_irreducible=False)
+    rng = random.Random(seed)
+    a_values = [rng.getrandbits(m) for _ in range(pairs)]
+    b_values = [rng.getrandbits(m) for _ in range(pairs)]
+    reference = [field.multiply(a, b) for a, b in zip(a_values, b_values)]
+
+    rates = {}
+    for name in ("bitslice", "native"):
+        backend = get_backend(name, field)
+        products, best = best_of(lambda: backend.multiply_batch(a_values, b_values), repeats)
+        if products != reference:
+            raise AssertionError(f"{name} backend disagrees with the scalar reference at m={m}")
+        rates[name] = rate(pairs, best)
+
+    return {
+        "m": m,
+        "n": type_ii_parameters(modulus)[1],
+        "pairs": pairs,
+        "native_rate": rates["native"],
+        "bitslice_rate": rates["bitslice"],
+        "speedup_native_vs_bitslice": rates["native"] / rates["bitslice"],
+    }
+
+
+def report(rows):
+    lines = [f"{'field':>10s} {'native':>14s} {'bitslice':>14s} {'speedup':>8s}"]
+    for row in rows:
+        lines.append(
+            f"GF(2^{row['m']:<4d}) {row['native_rate']:>12,.0f}/s"
+            f" {row['bitslice_rate']:>12,.0f}/s {row['speedup_native_vs_bitslice']:>7.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def _floor_row(rows, m=163):
+    for row in rows:
+        if row["m"] == m:
+            return row
+    raise AssertionError(f"no native row for m={m}")
+
+
+def _skip_unless_both():  # pragma: no cover - CI installs both substrates
+    import pytest
+
+    if not numpy_available():
+        pytest.skip("numpy not installed; bitslice backend unavailable")
+    if not native_available():
+        pytest.skip("no C toolchain; native backend unavailable")
+
+
+# --------------------------------------------------------------------- pytest
+def test_native_beats_bitslice_gf2_163():
+    """The CI gate: native ≥5× bitslice on multiply_batch at m=163/2048."""
+    _skip_unless_both()
+    row = measure_native_field(163, repeats=2)
+    print("\n" + report([row]))
+    speedup = row["speedup_native_vs_bitslice"]
+    assert speedup >= NATIVE_OVER_BITSLICE_FLOOR, (
+        f"native only {speedup:.1f}x over bitslice at m=163/{DEFAULT_PAIRS}"
+    )
+
+
+def test_native_throughput_gf2_233():
+    """Parity plus a sane native speedup on the second NIST degree."""
+    _skip_unless_both()
+    row = measure_native_field(233, pairs=1024, repeats=2)
+    print("\n" + report([row]))
+    assert row["speedup_native_vs_bitslice"] >= 2.0, (
+        f"m=233: native only {row['speedup_native_vs_bitslice']:.1f}x over bitslice"
+    )
+
+
+# ----------------------------------------------------------------- standalone
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="native C backend vs bitslice planes")
+    parser.add_argument("--quick", action="store_true", help="m=163 only (CI smoke; still batch 2048)")
+    parser.add_argument("--pairs", type=int, default=DEFAULT_PAIRS)
+    parser.add_argument("--fields", default=None, help="comma separated m values (default 163,233)")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the machine-readable report here")
+    args = parser.parse_args(argv)
+    if not native_available():
+        raise SystemExit("the native backend is unavailable here (no C toolchain or cffi)")
+    if args.fields:
+        fields = [int(chunk) for chunk in args.fields.split(",")]
+    else:
+        fields = [163] if args.quick else list(FIELDS_M)
+    rows = [measure_native_field(m, pairs=args.pairs) for m in fields]
+    print(report(rows))
+    if args.json:
+        write_bench_json(
+            args.json,
+            "native",
+            COMMIT_PR,
+            {"fields": fields, "pairs": args.pairs},
+            rows,
+        )
+    if 163 in fields and args.pairs >= DEFAULT_PAIRS:
+        speedup = _floor_row(rows)["speedup_native_vs_bitslice"]
+        if speedup < NATIVE_OVER_BITSLICE_FLOOR:
+            raise SystemExit(
+                f"native regression: {speedup:.1f}x < "
+                f"{NATIVE_OVER_BITSLICE_FLOOR:.0f}x over bitslice at m=163/{DEFAULT_PAIRS}"
+            )
+        print(
+            f"ok: native {speedup:.1f}x over bitslice at m=163/{DEFAULT_PAIRS} "
+            f"(floor {NATIVE_OVER_BITSLICE_FLOOR:.0f}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,19 +17,21 @@ conservative CI floor for shared runners; the local target in ISSUE 5 is
 asserted byte-identical between the paths and against the scalar-ladder
 reference.
 
+``--backend`` swaps the substrate under both paths: ``native`` (PR 7)
+runs the very same compiled-formula ladder through the C word-level
+executor — the committed trajectory record since PR 7.
+
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_plane_ladder.py --json BENCH_plane_ladder.json
+    PYTHONPATH=src python benchmarks/bench_plane_ladder.py --backend native --json BENCH_plane_ladder.json
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import random
-import time
 
+from _harness import best_of, rate, write_bench_json
 from repro.backends import get_backend, numpy_available
 from repro.curves import curve_by_name, ecdh_batch
 
@@ -41,26 +43,23 @@ DEFAULT_BATCH = 256
 PLANE_FLOOR = 2.0
 
 #: The committed-JSON schema version shared by the BENCH_* trajectory files.
-COMMIT_PR = 5
+COMMIT_PR = 7
+
+#: The substrate both paths run on by default (any plane-resident backend).
+DEFAULT_BACKEND = "bitslice"
 
 
-def _best_of(callable_, repeats: int):
-    """(result, best seconds) over ``repeats`` timed calls (first is warm-up)."""
-    result = callable_()
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        repeated = callable_()
-        best = min(best, time.perf_counter() - start)
-        if repeated != result:
-            raise AssertionError("batched ladder is not deterministic")
-    return result, best
-
-
-def measure_plane_ladder(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=3, check=4, seed=2018):
+def measure_plane_ladder(
+    curve_name=DEFAULT_CURVE,
+    batch=DEFAULT_BATCH,
+    repeats=3,
+    check=4,
+    seed=2018,
+    backend_name=DEFAULT_BACKEND,
+):
     """One benchmark row: plane vs per-step agreement throughput, parity-checked."""
     curve = curve_by_name(curve_name)
-    backend = get_backend("bitslice", curve.field)
+    backend = get_backend(backend_name, curve.field)
     rng = random.Random(seed)
     bound = curve.order if curve.order is not None else curve.field.order
     privates = [rng.randrange(1, bound) for _ in range(batch)]
@@ -68,10 +67,10 @@ def measure_plane_ladder(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=
     # Peers via the batched ladder itself (also warms circuit + plane caches).
     peers = curve.multiply_batch([curve.generator] * batch, peer_privates, backend=backend)
 
-    plane_shared, plane_s = _best_of(
+    plane_shared, plane_s = best_of(
         lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=True), repeats
     )
-    steps_shared, steps_s = _best_of(
+    steps_shared, steps_s = best_of(
         lambda: ecdh_batch(curve, privates, peers, backend=backend, plane_resident=False), repeats
     )
     if plane_shared != steps_shared:
@@ -84,9 +83,10 @@ def measure_plane_ladder(curve_name=DEFAULT_CURVE, batch=DEFAULT_BATCH, repeats=
         "curve": curve_name,
         "m": curve.field.m,
         "batch": batch,
+        "backend": backend_name,
         "checked_vs_scalar": min(check, batch),
-        "plane_ladders_per_s": batch / plane_s if plane_s > 0 else float("inf"),
-        "steps_ladders_per_s": batch / steps_s if steps_s > 0 else float("inf"),
+        "plane_ladders_per_s": rate(batch, plane_s),
+        "steps_ladders_per_s": rate(batch, steps_s),
         "speedup_plane_vs_steps": steps_s / plane_s if plane_s > 0 else float("inf"),
     }
 
@@ -121,33 +121,24 @@ def main(argv=None):
     parser.add_argument("--curve", default=DEFAULT_CURVE)
     parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--backend", default=DEFAULT_BACKEND, help="plane-resident substrate (bitslice or native)")
     parser.add_argument("--quick", action="store_true", help="batch 128, 2 repeats (CI smoke)")
     parser.add_argument("--json", default=None, metavar="PATH", help="write the machine-readable report here")
     args = parser.parse_args(argv)
     batch = 128 if args.quick else args.batch
     repeats = 2 if args.quick else args.repeats
-    row = measure_plane_ladder(curve_name=args.curve, batch=batch, repeats=repeats)
+    row = measure_plane_ladder(
+        curve_name=args.curve, batch=batch, repeats=repeats, backend_name=args.backend
+    )
     print(report([row]))
     if args.json:
-        payload = {
-            "bench": "plane_ladder",
-            "commit_pr": COMMIT_PR,
-            "config": {
-                "curve": args.curve,
-                "batch": batch,
-                "repeats": repeats,
-                "backend": "bitslice",
-                "platform": {
-                    "python": platform.python_version(),
-                    "machine": platform.machine(),
-                },
-            },
-            "results": [row],
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
+        write_bench_json(
+            args.json,
+            "plane_ladder",
+            COMMIT_PR,
+            {"curve": args.curve, "batch": batch, "repeats": repeats, "backend": args.backend},
+            [row],
+        )
     speedup = row["speedup_plane_vs_steps"]
     if speedup < PLANE_FLOOR:
         raise SystemExit(

@@ -3,9 +3,26 @@
 The canonical project metadata lives in ``pyproject.toml``.  This file exists
 so that editable installs keep working on environments whose setuptools/pip
 lack the ``wheel`` package needed for PEP-517 editable builds (install with
-``pip install -e . --no-build-isolation --no-use-pep517`` there).
+``pip install -e . --no-build-isolation --no-use-pep517`` there), and to host
+the one thing declarative metadata cannot: the optional cffi build hook for
+the native C backend (``pip install .[native]``).
+
+The hook is gated — without cffi (or without a C compiler, which setuptools
+surfaces as a build error only when the extension is actually attempted) the
+package installs pure-Python and :mod:`repro.backends.native` falls back to
+compiling into the artifact cache on first import, or degrades to a clear
+``ImportError``.
 """
 
 from setuptools import setup
 
-setup()
+kwargs = {}
+try:
+    import cffi  # noqa: F401
+
+    kwargs["cffi_modules"] = ["src/repro/backends/native/_build.py:ffibuilder"]
+    kwargs["setup_requires"] = ["cffi>=1.15"]
+except ImportError:
+    pass
+
+setup(**kwargs)

@@ -25,6 +25,16 @@ the CLI — select a substrate by name instead of hard-coding a call path:
   selects — so consumers pack a batch into a :class:`PlaneVector` once,
   execute the compiled formula per step, and unpack once; the batched
   curve ladder rides on this for ~3× the per-step batch path.
+* ``native`` (:class:`NativeBackend`) — the compiled word-level tier
+  (:mod:`repro.backends.native`): a C kernel doing 64-bit carry-less
+  multiplication (PCLMULQDQ when the CPU has it) plus sparse tail
+  reduction over contiguous ``uint64`` word arrays, built through cffi at
+  install or first-import time.  Its :class:`NativeIRExecutor` lowers
+  scheduled :class:`FieldIR` programs to a flat C instruction stream, so
+  the whole fused ladder step runs as one C call per scalar bit.  The
+  per-field default whenever the extension is importable; degrades to a
+  clear :class:`ImportError` (and the registry falls back to ``engine``)
+  when no C compiler is available.
 
 Selection: explicit ``backend=`` arguments (a name or an instance)
 anywhere batch APIs are exposed, the ``--backend`` CLI flag, or the
@@ -44,6 +54,13 @@ True
 from .base import BackendCapabilities, FieldBackend, default_method_for
 from .bitslice import BitsliceBackend, BitslicedNetlist, bitsliced_netlist, numpy_available
 from .engine_backend import EngineBackend
+from .native import (
+    CompiledNativeIR,
+    NativeBackend,
+    NativeIRExecutor,
+    NativeVector,
+    native_available,
+)
 from .ir import (
     FieldIR,
     FieldProgram,
@@ -80,6 +97,11 @@ __all__ = [
     "bitsliced_netlist",
     "numpy_available",
     "EngineBackend",
+    "CompiledNativeIR",
+    "NativeBackend",
+    "NativeIRExecutor",
+    "NativeVector",
+    "native_available",
     "FieldIR",
     "FieldProgram",
     "IRBuilder",

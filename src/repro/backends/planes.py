@@ -493,6 +493,16 @@ class PlaneIRExecutor:
         """Unpack a :class:`PlaneVector` back into field elements (once)."""
         return unpack_planes(_array_to_planes(vector.array), self.m, vector.lanes)
 
+    def vector(self, array, lanes: int) -> PlaneVector:
+        """Rewrap a raw ``run_arrays`` output as a batch of ``lanes`` lanes.
+
+        Ladder consumers thread raw arrays through repeated
+        :meth:`CompiledPlaneIR.run_arrays` steps and only rewrap at the
+        end; this hook keeps them executor-agnostic (the native executor
+        provides the same method over its word buffers).
+        """
+        return PlaneVector(array, lanes)
+
     def broadcast_bits(self, bits: Sequence[int]):
         """Pack one control bit per lane into a broadcastable lane-word mask.
 
@@ -554,8 +564,7 @@ class PlaneCompute:
     the plane domain one hand-scheduled op at a time.  They now emit
     ``DeprecationWarning`` and delegate to single-op
     :class:`~repro.backends.ir.FieldIR` programs executed through the
-    bound :class:`PlaneIRExecutor` — same results, one code path — the same
-    shim pattern :mod:`repro.engine.cache` used for its module move.  New
+    bound :class:`PlaneIRExecutor` — same results, one code path.  New
     code should trace a whole formula and use
     :meth:`~repro.backends.base.FieldBackend.ir_executor` directly; the
     batch boundary (:meth:`pack` / :meth:`unpack`) remains un-deprecated

@@ -7,7 +7,9 @@ Resolution order for a default backend:
    back);
 2. per-field resolution: fields of degree < 2 carry no bit-parallel
    multiplier circuit, so they default to the scalar ``python`` backend;
-3. the compiled ``engine`` backend for everything else.
+3. the ``native`` C backend when its cffi extension is importable (or
+   buildable — the first probe compiles it into the artifact cache);
+4. the compiled ``engine`` backend otherwise (no C compiler, no cffi).
 
 Backend instances are cached per ``(name, modulus, options)`` in a
 process-wide LRU, so resolving a backend on a hot path costs a dictionary
@@ -31,6 +33,7 @@ from ..pipeline.store import LRUCache
 from .base import FieldBackend
 from .bitslice import BitsliceBackend
 from .engine_backend import EngineBackend
+from .native import NativeBackend, native_available
 from .python_int import PythonIntBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,6 +73,7 @@ def register_backend(name: str, factory: Callable[..., FieldBackend]) -> None:
 register_backend(PythonIntBackend.name, PythonIntBackend)
 register_backend(EngineBackend.name, EngineBackend)
 register_backend(BitsliceBackend.name, BitsliceBackend)
+register_backend(NativeBackend.name, NativeBackend)
 
 
 def available_backends() -> List[str]:
@@ -90,6 +94,10 @@ def default_backend_name(field: Optional["GF2mField"] = None) -> str:
     if field is not None and field.m < 2:
         # Bit-parallel multipliers need degree >= 2; only the scalar path works.
         return PythonIntBackend.name
+    if native_available():
+        # The C word-level tier wins on every batch size once it exists;
+        # environments without a compiler fall through to the engine.
+        return NativeBackend.name
     return EngineBackend.name
 
 

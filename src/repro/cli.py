@@ -20,7 +20,8 @@ Subcommands
                 per-step batched-ladder path)
 
 ``batch``, ``bench``, ``ecdh`` and ``sweep`` accept ``--backend``
-(``python`` | ``engine`` | ``bitslice``, see :mod:`repro.backends`); the
+(``python`` | ``engine`` | ``bitslice`` | ``native``, see
+:mod:`repro.backends`); the
 ``GF2M_REPRO_BACKEND`` environment variable sets the process default.
 The flag is declared once on a shared parent parser (as are ``--method``
 for ``batch``/``bench`` and ``--ladder`` for ``ecdh``) and resolved at a
@@ -257,10 +258,12 @@ def _resolve_cli_backend(field: GF2mField, name, method=None, chunk_size=None, v
     ``name=None`` resolves through the registry default, so the
     ``$GF2M_REPRO_BACKEND`` override applies to every subcommand.
     Registry failures (unknown names, a bad env override), contradictory
-    options (``--method`` with the scalar backend) and a missing numpy for
-    ``bitslice`` all surface as actionable messages instead of tracebacks.
-    ``verify=False`` skips formal circuit verification (the large-field
-    fast path of ``repro batch``/``bench``).
+    options (``--method`` with the scalar or native backend), a missing
+    numpy for ``bitslice`` and a missing C toolchain for ``native`` all
+    surface as actionable messages instead of tracebacks.  ``verify=False``
+    skips formal circuit verification (the large-field fast path of
+    ``repro batch``/``bench``); it does not apply to ``native``, which
+    evaluates no generated circuit.
     """
     try:
         if name is None:
@@ -268,10 +271,10 @@ def _resolve_cli_backend(field: GF2mField, name, method=None, chunk_size=None, v
         options = {}
         if method is not None:
             options["method"] = method
-        if name in ("engine", "bitslice"):
+        if name in ("engine", "bitslice", "native"):
             if chunk_size is not None:
                 options["chunk_size"] = chunk_size
-            if not verify:
+            if name != "native" and not verify:
                 options["verify"] = False
         return get_backend(name, field, **options)
     except (KeyError, ValueError, ImportError) as error:
@@ -490,8 +493,9 @@ def _run_ecdh(args) -> int:
     plane_resident = {"auto": None, "planes": True, "steps": False}[args.ladder]
     if plane_resident and resolved.ir_executor() is None:
         raise SystemExit(
-            f"--ladder planes needs a plane-resident backend (one with a FieldIR plane "
-            f"executor); {resolved.name!r} has no such capability (use --backend bitslice)"
+            f"--ladder planes needs a plane-resident backend (one with a FieldIR "
+            f"executor); {resolved.name!r} has no such capability (use --backend "
+            "native or bitslice)"
         )
     print(curve.describe())
 

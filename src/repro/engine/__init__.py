@@ -17,7 +17,7 @@ Layers, bottom up:
 
 Multiplier caching lives in :mod:`repro.multipliers.cache` and the generic
 LRU in :mod:`repro.pipeline.store`; both are re-exported here for
-convenience (``repro.engine.cache`` itself is a deprecated shim).
+convenience.
 
 Quick start
 -----------

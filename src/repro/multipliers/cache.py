@@ -10,8 +10,6 @@ the CLI, the comparison harness, batch services) therefore goes through
 The generic LRU building block lives in :mod:`repro.pipeline.store`
 (:class:`~repro.pipeline.store.LRUCache`), shared with the sweep pipeline's
 artifact layer; this module holds only the multiplier-specific policy.
-(Both used to live in ``repro.engine.cache``, which is now a deprecated
-shim re-exporting from the two new homes.)
 
 Cached multipliers are shared objects: callers must treat the netlist as
 immutable (the synthesis flow already does — restructuring builds new

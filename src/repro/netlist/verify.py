@@ -155,18 +155,24 @@ def verify_netlist(netlist: Netlist, spec: ProductSpec) -> VerificationReport:
     )
 
 
-def _netlist_evaluator(netlist: Netlist, m: int, backend: str, vector_count: int):
+def _netlist_evaluator(netlist: Netlist, modulus: int, backend: str, vector_count: int):
     """The batch evaluator of the requested simulation substrate.
 
     ``backend`` mirrors the execution-backend names of
     :mod:`repro.backends`: ``"engine"`` compiles the netlist to the
     big-integer straight-line evaluator, ``"bitslice"`` lowers it to numpy
     plane arrays, ``"python"`` (or ``"interpreter"``) walks it with the
-    interpreted simulator.  Raises ``KeyError`` for unknown names and
-    whatever the substrate itself raises (e.g. ``ImportError`` from
-    ``bitslice`` without numpy) — an explicitly requested substrate must
-    not silently degrade, or the parity assertion would be meaningless.
+    interpreted simulator.  ``"native"`` evaluates no circuit — the C
+    word-level tier multiplies directly — so its evaluator runs the
+    netlist on the engine substrate and cross-checks the native backend's
+    word arithmetic against it on the very same vectors, keeping both the
+    circuit and the backend under one parity assertion.  Raises
+    ``KeyError`` for unknown names and whatever the substrate itself
+    raises (e.g. ``ImportError`` from ``bitslice`` without numpy) — an
+    explicitly requested substrate must not silently degrade, or the
+    parity assertion would be meaningless.
     """
+    m = degree(modulus)
     if backend == "engine":
         from ..engine.engine import engine_for_netlist
 
@@ -184,8 +190,27 @@ def _netlist_evaluator(netlist: Netlist, m: int, backend: str, vector_count: int
             return simulate_words(netlist, m, a_chunk, b_chunk)
 
         return multiply_batch
+    if backend == "native":
+        from ..backends.native import NativeBackend
+        from ..engine.engine import engine_for_netlist
+
+        circuit = engine_for_netlist(netlist, m, mode="arrays").multiply_batch
+        native = NativeBackend(GF2mField(modulus, check_irreducible=False))
+
+        def multiply_batch(a_chunk, b_chunk):
+            products = circuit(a_chunk, b_chunk)
+            word_products = native.multiply_batch(a_chunk, b_chunk)
+            if list(word_products) != list(products):
+                raise AssertionError(
+                    "native word arithmetic disagrees with the netlist on "
+                    f"GF(2^{m}) simulation vectors"
+                )
+            return products
+
+        return multiply_batch
     raise KeyError(
-        f"unknown simulation backend {backend!r}; expected 'engine', 'bitslice' or 'python'"
+        f"unknown simulation backend {backend!r}; "
+        "expected 'engine', 'bitslice', 'native' or 'python'"
     )
 
 
@@ -205,9 +230,9 @@ def verify_by_simulation(
     ``trials`` random pairs plus a few structured corner cases.
 
     ``backend`` selects the simulation substrate (``"engine"``,
-    ``"bitslice"`` or ``"python"``), so parity with the reference scalar
-    arithmetic is asserted uniformly for every execution backend on the
-    very same vectors.  Without it, the legacy behaviour applies: the
+    ``"bitslice"``, ``"native"`` or ``"python"``), so parity with the
+    reference scalar arithmetic is asserted uniformly for every execution
+    backend on the very same vectors.  Without it, the legacy behaviour applies: the
     compiled engine when ``use_engine`` is true (falling back to the
     interpreter for netlists outside the multiplier I/O convention), the
     interpreted :func:`~repro.netlist.simulate.simulate_words` path
@@ -230,16 +255,16 @@ def verify_by_simulation(
             a_values.append(rng.getrandbits(m))
             b_values.append(rng.getrandbits(m))
     if backend is not None:
-        multiply_batch = _netlist_evaluator(netlist, m, backend, len(a_values))
+        multiply_batch = _netlist_evaluator(netlist, modulus, backend, len(a_values))
     elif use_engine:
         try:
-            multiply_batch = _netlist_evaluator(netlist, m, "engine", len(a_values))
+            multiply_batch = _netlist_evaluator(netlist, modulus, "engine", len(a_values))
         except ValueError:
             # Netlists outside the multiplier I/O convention (odd input names,
             # missing outputs) still verify through the tolerant interpreter.
-            multiply_batch = _netlist_evaluator(netlist, m, "python", len(a_values))
+            multiply_batch = _netlist_evaluator(netlist, modulus, "python", len(a_values))
     else:
-        multiply_batch = _netlist_evaluator(netlist, m, "python", len(a_values))
+        multiply_batch = _netlist_evaluator(netlist, modulus, "python", len(a_values))
     batch = 4096
     for start in range(0, len(a_values), batch):
         a_chunk = a_values[start:start + batch]

@@ -22,6 +22,7 @@ from repro.backends import (
     default_backend_name,
     default_method_for,
     get_backend,
+    native_available,
     numpy_available,
     register_backend,
     resolve_backend,
@@ -37,27 +38,44 @@ from repro.multipliers.cache import cached_multiplier
 from repro.netlist.netlist import Netlist
 
 requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+requires_native = pytest.mark.skipif(
+    not native_available(), reason="native extension not buildable here"
+)
 
 GF2_16 = GF2mField(type_ii_pentanomial(16, 3), check_irreducible=False)
 GF2_163 = GF2mField(smallest_type_ii_pentanomial(163), check_irreducible=False)
 GF2_233 = GF2mField(smallest_type_ii_pentanomial(233), check_irreducible=False)
 
-ALL_BACKENDS = ["python", "engine", "bitslice"]
+ALL_BACKENDS = ["python", "engine", "bitslice", "native"]
+
+_OPTIONAL = {"bitslice": numpy_available, "native": native_available}
+
+
+def _available(name):
+    predicate = _OPTIONAL.get(name)
+    return predicate is None or predicate()
 
 
 def _backends():
-    return [
-        pytest.param(name, marks=requires_numpy if name == "bitslice" else ())
-        for name in ALL_BACKENDS
-    ]
+    marks = {"bitslice": requires_numpy, "native": requires_native}
+    return [pytest.param(name, marks=marks.get(name, ())) for name in ALL_BACKENDS]
 
 
 class TestRegistry:
     def test_builtins_are_registered(self):
         assert set(ALL_BACKENDS) <= set(available_backends())
 
-    def test_default_is_the_engine(self, monkeypatch):
+    def test_default_prefers_native_then_engine(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = "native" if native_available() else "engine"
+        assert default_backend_name(GF2_16) == expected
+        assert default_backend_name() == expected
+
+    def test_default_without_native_is_the_engine(self, monkeypatch):
+        import repro.backends.registry as registry_module
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        monkeypatch.setattr(registry_module, "native_available", lambda: False)
         assert default_backend_name(GF2_16) == "engine"
         assert default_backend_name() == "engine"
 
@@ -166,7 +184,7 @@ class TestParityNIST:
         b_values = [rng.getrandbits(163) for _ in range(40)]
         expected = [GF2_163.multiply(a, b) for a, b in zip(a_values, b_values)]
         for name in ALL_BACKENDS:
-            if name == "bitslice" and not numpy_available():
+            if not _available(name):
                 continue
             assert GF2_163.multiply_batch(a_values, b_values, backend=name) == expected
 
@@ -219,7 +237,7 @@ class TestFieldDelegation:
         values = [rng.getrandbits(16) for _ in range(20)]
         expected = [GF2_16.square(value) for value in values]
         for name in ALL_BACKENDS:
-            if name == "bitslice" and not numpy_available():
+            if not _available(name):
                 continue
             assert GF2_16.square_batch(values, backend=name) == expected
 
@@ -229,7 +247,7 @@ class TestFieldDelegation:
         values = [rng.getrandbits(16) or 1 for _ in range(12)]
         expected = [field.inverse(value) for value in values]
         for name in ALL_BACKENDS:
-            if name == "bitslice" and not numpy_available():
+            if not _available(name):
                 continue
             assert field.inverse_batch(values, backend=name) == expected
 

@@ -1,38 +1,12 @@
 """Multiplier cache: hits, LRU eviction, verification upgrades, thread safety."""
 
-import importlib
-import sys
 import threading
-import warnings
 
 import pytest
 
 from repro.galois.pentanomials import type_ii_pentanomial
 from repro.multipliers.cache import MultiplierCache, default_multiplier_cache
 from repro.pipeline.store import LRUCache
-
-
-class TestDeprecatedShim:
-    def test_engine_cache_import_warns_and_reexports(self):
-        sys.modules.pop("repro.engine.cache", None)
-        with pytest.warns(DeprecationWarning, match="repro.engine.cache is deprecated"):
-            shim = importlib.import_module("repro.engine.cache")
-        assert shim.LRUCache is LRUCache
-        assert shim.MultiplierCache is MultiplierCache
-        assert shim.default_multiplier_cache is default_multiplier_cache
-
-    def test_library_no_longer_imports_the_shim(self):
-        """Internal code paths must not trigger the deprecated module."""
-        sys.modules.pop("repro.engine.cache", None)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            from repro.engine import engine_for
-            from repro.multipliers.registry import generate_multiplier
-
-            modulus = type_ii_pentanomial(8, 2)
-            generate_multiplier("thiswork", modulus)
-            engine_for("thiswork", modulus).multiply(3, 5)
-        assert "repro.engine.cache" not in sys.modules
 
 
 class TestLRUCache:

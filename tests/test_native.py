@@ -1,0 +1,142 @@
+"""The native C word-level backend: parity, ladders, chunking, degradation.
+
+Acceptance contract of the PR 7 tentpole: the C kernel (carry-less
+multiply + sparse pentanomial reduction over uint64 words) must be
+**byte-identical** to the scalar big-integer reference everywhere it is
+reachable — the :class:`FieldBackend` batch surface, the compiled-FieldIR
+ladder, chunked batches of every awkward size — and must degrade to a
+clear :class:`ImportError` (with the registry default falling back to the
+engine) on machines without a C toolchain.  Every test here skips rather
+than fails when the extension cannot be built.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.backends.registry as registry_module
+from repro.backends import (
+    assert_backend_parity,
+    default_backend_name,
+    get_backend,
+    native_available,
+)
+from repro.backends.native import NativeBackend
+from repro.curves import curve_by_name
+from repro.galois.field import GF2mField
+from repro.galois.pentanomials import smallest_type_ii_pentanomial
+
+requires_native = pytest.mark.skipif(
+    not native_available(), reason="native extension not buildable here"
+)
+
+GF2_163 = GF2mField(smallest_type_ii_pentanomial(163), check_irreducible=False)
+GF2_233 = GF2mField(smallest_type_ii_pentanomial(233), check_irreducible=False)
+
+
+@requires_native
+class TestNativeParity:
+    @pytest.mark.parametrize("field", [GF2_163, GF2_233], ids=["gf163", "gf233"])
+    def test_full_backend_parity(self, field):
+        """The uniform harness: multiply/square/inverse + compiled-IR probe."""
+        assert assert_backend_parity(field, "native") > 0
+
+    def test_word_aligned_edge_fields(self):
+        """m = 64 exercises the hb == 0 path of the reduction (no partial word)."""
+        for m in (8, 16, 64):
+            modulus = smallest_type_ii_pentanomial(m)
+            field = GF2mField(modulus, check_irreducible=False)
+            assert assert_backend_parity(field, "native") > 0
+
+    def test_describe_names_the_substrate(self):
+        backend = get_backend("native", GF2_163)
+        description = backend.describe()
+        assert description.startswith("native[C] GF(2^163)")
+        assert "reduction" in description
+
+    def test_rejects_circuit_method(self):
+        with pytest.raises(ValueError, match="evaluates no circuit"):
+            NativeBackend(GF2_163, method="thiswork")
+
+
+@requires_native
+class TestNativeLadder:
+    @pytest.mark.parametrize("curve_name", ["K-163", "K-233"])
+    def test_batched_ladder_matches_scalar_reference(self, curve_name):
+        """Batch-32 scalar multiplication, byte-identical to the scalar ladder."""
+        curve = curve_by_name(curve_name)
+        backend = get_backend("native", curve.field)
+        rng = random.Random(2018)
+        n = curve.order if curve.order is not None else curve.field.order
+        scalars = [0, 1, 2, n - 1]
+        while len(scalars) < 32:
+            scalars.append(rng.randrange(0, n))
+        points = [curve.generator] * len(scalars)
+        batched = curve.multiply_batch(points, scalars, backend=backend)
+        for index, (point, scalar) in enumerate(zip(points, scalars)):
+            assert batched[index] == curve.multiply(point, scalar), (
+                f"{curve_name} lane {index}: native ladder != scalar reference"
+            )
+
+
+@requires_native
+class TestNativeChunking:
+    def test_ladder_chunk_boundaries(self):
+        """Batches straddling the executor chunk size split without drift."""
+        curve = curve_by_name("K-163")
+        backend = NativeBackend(curve.field, chunk_size=4)
+        rng = random.Random(7)
+        n = curve.order
+        for batch in (3, 4, 5, 9):
+            scalars = [rng.randrange(1, n) for _ in range(batch)]
+            points = [curve.generator] * batch
+            batched = curve.multiply_batch(points, scalars, backend=backend)
+            assert batched == [curve.multiply(p, k) for p, k in zip(points, scalars)]
+
+    def test_multiply_batch_larger_than_chunk(self):
+        """multiply_batch ignores chunking but must stay exact far past it."""
+        backend = NativeBackend(GF2_163, chunk_size=16)
+        rng = random.Random(11)
+        a_values = [rng.getrandbits(163) for _ in range(67)]
+        b_values = [rng.getrandbits(163) for _ in range(67)]
+        assert backend.multiply_batch(a_values, b_values) == [
+            GF2_163.multiply(a, b) for a, b in zip(a_values, b_values)
+        ]
+
+
+@requires_native
+class TestNativeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 163) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 163) - 1),
+    )
+    def test_multiply_matches_python_reference(self, a, b):
+        backend = get_backend("native", GF2_163)
+        assert backend.multiply(a, b) == GF2_163.multiply(a, b)
+
+
+class TestNativeDegradation:
+    def test_clear_import_error_without_a_compiler(self, monkeypatch):
+        """No toolchain: NativeBackend raises a clear ImportError and the
+        registry default falls back to the engine — never a silent downgrade."""
+        import repro.backends.native as native_module
+
+        monkeypatch.setattr(native_module, "_EXT", None)
+        monkeypatch.setattr(
+            native_module,
+            "_EXT_ERROR",
+            ImportError("the native backend is unavailable: no C compiler"),
+        )
+        monkeypatch.setattr(registry_module, "native_available", lambda: False)
+        with pytest.raises(ImportError, match="native backend is unavailable"):
+            NativeBackend(GF2_163)
+        # Fresh options dodge the registry's (name, modulus, options) instance
+        # cache, which other tests may already have populated.
+        with pytest.raises(ImportError, match="native backend is unavailable"):
+            get_backend("native", GF2_163, chunk_size=123)
+        assert default_backend_name(GF2_163) == "engine"
