@@ -21,13 +21,16 @@ grid, and the asserted floors.
 
 from __future__ import annotations
 
+import datetime
 import json
+import os
 import platform
+import subprocess
 import time
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from typing import Any, Callable, Dict, List, Sequence, Tuple
+    from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 def best_of(callable_: "Callable[[], Any]", repeats: int) -> "Tuple[Any, float]":
@@ -82,6 +85,34 @@ def platform_block() -> "Dict[str, str]":
     }
 
 
+def git_commit_hash() -> "Optional[str]":
+    """The current git HEAD hash, or ``None`` outside a repository.
+
+    Benchmarks can run from an exported tarball; the stamp is provenance,
+    not a requirement, so failures degrade to ``None`` rather than abort.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    commit = completed.stdout.strip()
+    return commit or None
+
+
+def timestamp_utc() -> str:
+    """Second-resolution ISO-8601 UTC timestamp (``...Z``) for the stamp."""
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return now.strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
 def write_bench_json(
     path: str,
     bench: str,
@@ -91,18 +122,53 @@ def write_bench_json(
 ) -> None:
     """Write one trajectory report in the shared BENCH_* schema.
 
-    ``config`` gains the :func:`platform_block` stamp (an explicit
-    ``platform`` key in ``config`` wins, for replaying foreign reports);
-    keys are sorted and the file ends in a newline so committed snapshots
-    diff cleanly across refreshes.
+    ``config`` gains the :func:`platform_block` stamp plus provenance
+    stamps — the producing :func:`git_commit_hash` and an ISO-8601 UTC
+    :func:`timestamp_utc` — so the perf-trajectory dashboard can order and
+    attribute refreshes exactly.  Explicit ``platform``/``git_commit``/
+    ``timestamp_utc`` keys in ``config`` win, for replaying foreign
+    reports; keys are sorted and the file ends in a newline so committed
+    snapshots diff cleanly across refreshes.
+
+    Refreshing an existing file keeps its history: snapshots from *other*
+    PRs stay in place (the file becomes a chronological list the dashboard
+    renders as a trajectory), while a re-run under the same ``commit_pr``
+    replaces that PR's snapshot, so CI re-runs never duplicate entries.
     """
     payload = {
         "bench": bench,
         "commit_pr": commit_pr,
-        "config": {"platform": platform_block(), **config},
+        "config": {
+            "platform": platform_block(),
+            "git_commit": git_commit_hash(),
+            "timestamp_utc": timestamp_utc(),
+            **config,
+        },
         "results": results,
     }
+    history = [
+        snapshot
+        for snapshot in _load_history(path)
+        if snapshot.get("commit_pr") != commit_pr
+    ]
+    history.append(payload)
+    history.sort(key=lambda snapshot: snapshot.get("commit_pr", 0))
+    document: "Any" = history[0] if len(history) == 1 else history
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
+        json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {path}")
+    print(f"wrote {path} ({len(history)} snapshot(s))")
+
+
+def _load_history(path: str) -> "List[Dict[str, Any]]":
+    """Existing snapshots at ``path``: ``[]`` if absent, list either way."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if isinstance(existing, list):
+        return [snapshot for snapshot in existing if isinstance(snapshot, dict)]
+    if isinstance(existing, dict):
+        return [existing]
+    return []

@@ -45,7 +45,7 @@ SCALAR_PAIRS = 512
 BITSLICE_FLOOR = 5.0
 
 #: The PR that produced the committed trajectory snapshot (JSON schema field).
-COMMIT_PR = 7
+COMMIT_PR = 8
 
 
 def measure_backend(backend, a_values, b_values, measure_pairs=None, repeats=3):

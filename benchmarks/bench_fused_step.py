@@ -55,7 +55,7 @@ ECDH_PLANE_FLOOR = 2.0
 PR5_PLANE_BASELINE = 388.0
 
 #: The committed-JSON schema version shared by the BENCH_* trajectory files.
-COMMIT_PR = 7
+COMMIT_PR = 8
 
 
 def _fused_ladder(backend, curve, base_x, scalars):

@@ -38,7 +38,7 @@ DEFAULT_PAIRS = 2048
 NATIVE_OVER_BITSLICE_FLOOR = 5.0
 
 #: The committed-JSON schema version shared by the BENCH_* trajectory files.
-COMMIT_PR = 7
+COMMIT_PR = 8
 
 
 def measure_native_field(m, pairs=DEFAULT_PAIRS, repeats=3, seed=2018):

@@ -43,7 +43,7 @@ DEFAULT_BATCH = 256
 PLANE_FLOOR = 2.0
 
 #: The committed-JSON schema version shared by the BENCH_* trajectory files.
-COMMIT_PR = 7
+COMMIT_PR = 8
 
 #: The substrate both paths run on by default (any plane-resident backend).
 DEFAULT_BACKEND = "bitslice"

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Sequence
 
 from ..galois.pentanomials import type_ii_parameters
+from ..telemetry import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..galois.field import GF2mField
@@ -106,6 +107,16 @@ class FieldBackend(ABC):
         self.field = field
 
     # ------------------------------------------------------------- interface
+    def _count_batch(self, op: str, elements: int) -> None:
+        """Telemetry hook: one counter bump per batched call, none when off.
+
+        Cost discipline: the disabled path is a single class-attribute
+        check — no dict lookups ride along with a field operation.
+        """
+        registry = _metrics.REGISTRY
+        if registry.enabled:
+            registry.record_batch(self.name, op, elements)
+
     @abstractmethod
     def multiply(self, a: int, b: int) -> int:
         """The product of one validated operand pair."""
@@ -140,6 +151,7 @@ class FieldBackend(ABC):
             raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
         if not values:
             return []
+        self._count_batch("inverse_batch", len(values))
         field = self.field
         multiply = field.multiply
         prefix = [values[0]]

@@ -310,7 +310,7 @@ class BitslicedNetlist:
 #: modulus disambiguates same-degree pentanomials that share a netlist name.
 #: Repeated ``GF2mField``/backend constructions for one field reuse the
 #: segment build instead of re-lowering a 55k-gate netlist.
-_SLICED_CACHE = LRUCache(maxsize=16)
+_SLICED_CACHE = LRUCache(maxsize=16, name="bitslice.netlists")
 
 
 def bitsliced_netlist(
@@ -393,6 +393,7 @@ class BitsliceBackend(FieldBackend):
         return self.sliced.multiply_batch([a], [b])[0]
 
     def multiply_batch(self, a_values: Sequence[int], b_values: Sequence[int]) -> List[int]:
+        self._count_batch("multiply_batch", len(a_values))
         return self.sliced.multiply_batch(a_values, b_values)
 
     def inverse_batch(self, values: Sequence[int]) -> List[int]:
@@ -415,6 +416,7 @@ class BitsliceBackend(FieldBackend):
             raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
         if len(values) < 16:
             return super().inverse_batch(values)
+        self._count_batch("inverse_batch", len(values))
         levels = [values]
         while len(levels[-1]) > 1:
             current = levels[-1]

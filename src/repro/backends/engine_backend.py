@@ -78,6 +78,7 @@ class EngineBackend(FieldBackend):
         return self.engine.multiply(a, b)
 
     def multiply_batch(self, a_values: Sequence[int], b_values: Sequence[int]) -> List[int]:
+        self._count_batch("multiply_batch", len(a_values))
         return self.engine.multiply_batch(a_values, b_values, chunk_size=self.chunk_size)
 
     def describe(self) -> str:

@@ -563,7 +563,7 @@ def schedule_program(
 
 #: Scheduled programs keyed by caller-chosen fingerprints (curve, modulus,
 #: constants) — repeated field/curve constructions share one fusion pass.
-_PROGRAM_CACHE = LRUCache(maxsize=64)
+_PROGRAM_CACHE = LRUCache(maxsize=64, name="ir.programs")
 
 
 def cached_program(key: tuple, factory) -> FieldProgram:

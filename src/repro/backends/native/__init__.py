@@ -32,6 +32,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
+from ...telemetry import metrics as _metrics
+from ...telemetry import trace as _trace
 from ..base import BackendCapabilities, FieldBackend
 from ..ir import K_LINEAR, K_MUL, K_XOR, FieldProgram
 
@@ -191,6 +193,7 @@ class NativeBackend(FieldBackend):
         count = len(a_values)
         if not count:
             return []
+        self._count_batch("multiply_batch", count)
         ffi = self._ffi
         out = bytearray(count * self._nw * 8)
         self._ext.lib.gf2m_mul_batch(
@@ -230,6 +233,7 @@ class NativeBackend(FieldBackend):
             raise ZeroDivisionError(f"0 has no multiplicative inverse (batch index {index})")
         if len(values) < 16:
             return super().inverse_batch(values)
+        self._count_batch("inverse_batch", len(values))
         levels = [values]
         while len(levels[-1]) > 1:
             current = levels[-1]
@@ -299,7 +303,13 @@ class CompiledNativeIR:
         code: List[int] = []
         map_index: Dict[tuple, int] = {}
         map_objects: List[object] = []
-        for item in program.passes:
+        # (label, first instruction, one-past-last) per scheduled pass: when a
+        # tracer is live, run_arrays executes each range as its own C call so
+        # the trace shows real per-fused-pass timings; disabled runs keep the
+        # single whole-program call.
+        pass_ranges: List[tuple] = []
+        for pass_index, item in enumerate(program.passes):
+            pass_start = len(code) // 5
             if item.kind == K_MUL:
                 for a_vid, b_vid, out_vid in item.pairs:
                     code += [_OP_MUL, out_vid, a_vid, b_vid, 0]
@@ -326,6 +336,10 @@ class CompiledNativeIR:
                         _OP_SELECT, out_vid, set_vid, clear_vid,
                         self.mask_names.index(mask_name),
                     ]
+            pass_ranges.append(
+                (f"ir.pass.{pass_index:02d}.{item.kind}", pass_start, len(code) // 5)
+            )
+        self._pass_ranges = pass_ranges
         self._ninstr = len(code) // 5
         self._code = ffi.new("int32_t[]", code)
 
@@ -388,11 +402,27 @@ class CompiledNativeIR:
                 ffi.memmove(regs + vid * stride, vector.buf, stride_bytes)
             for vid, const_bytes in self._consts:
                 ffi.memmove(regs + vid * stride, const_bytes * count, stride_bytes)
-            backend._ext.lib.gf2m_run_program(
-                self._code, self._ninstr, regs, count, self.m, nw,
-                backend._terms, backend._nterms, self._tables,
-                ffi.from_buffer("uint64_t[]", masks_buf), lane_words,
-            )
+            run = backend._ext.lib.gf2m_run_program
+            masks_c = ffi.from_buffer("uint64_t[]", masks_buf)
+            tracer = _trace.TRACER
+            if tracer.enabled:
+                # The interpreter keeps no state between instructions, so a
+                # pass range executes identically as its own call.
+                for label, start, end in self._pass_ranges:
+                    if start == end:
+                        continue
+                    with tracer.span(label, lanes=count):
+                        run(
+                            self._code + start * 5, end - start, regs, count,
+                            self.m, nw, backend._terms, backend._nterms,
+                            self._tables, masks_c, lane_words,
+                        )
+            else:
+                run(
+                    self._code, self._ninstr, regs, count, self.m, nw,
+                    backend._terms, backend._nterms, self._tables,
+                    masks_c, lane_words,
+                )
             outputs = []
             for vid in self._output_vids:
                 buf = bytearray(stride_bytes)
@@ -503,7 +533,10 @@ class NativeIRExecutor:
         key = program.key if program.key is not None else id(program)
         entry = self._compiled.get(key)
         if entry is None or entry[0] is not program:
-            entry = (program, CompiledNativeIR(self, program))
+            with _trace.span(
+                "ir.compile", backend=self.backend.name, program=program.ir.name
+            ), _metrics.timed("ir.compile.native"):
+                entry = (program, CompiledNativeIR(self, program))
             self._compiled[key] = entry
         return entry[1]
 

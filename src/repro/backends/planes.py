@@ -43,6 +43,8 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..engine.bitpack import pack_rows, unpack_planes
 from ..pipeline.store import LRUCache
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
 from .ir import (
     K_LINEAR,
     K_MUL,
@@ -289,7 +291,7 @@ class PlaneProgram:
 
 #: Compiled plane programs keyed by the map's basis images — repeated field
 #: or curve constructions for the same modulus share one lowering.
-_PROGRAM_CACHE = LRUCache(maxsize=64)
+_PROGRAM_CACHE = LRUCache(maxsize=64, name="planes.programs")
 
 
 def plane_program(linear_map: "GF2LinearMap") -> PlaneProgram:
@@ -336,7 +338,8 @@ class CompiledPlaneIR:
         self._input_vids = [vid for _, vid in ir.inputs]
         self._output_vids = [vid for _, vid in ir.outputs]
         lowered: List[tuple] = []
-        for item in program.passes:
+        labels: List[str] = []
+        for pass_index, item in enumerate(program.passes):
             if item.kind == K_MUL:
                 lowered.append((K_MUL, tuple(item.pairs)))
             elif item.kind == K_LINEAR:
@@ -346,7 +349,12 @@ class CompiledPlaneIR:
                 lowered.append((K_LINEAR, tuple(item.inputs), tuple(item.outputs), fused))
             else:
                 lowered.append(("select", tuple(item.triples)))
+            labels.append(f"ir.pass.{pass_index:02d}.{lowered[-1][0]}")
         self._passes = lowered
+        # Span names are built once here so the traced hot loop never
+        # formats strings; with the NullTracer installed each pass costs
+        # one no-op context manager next to its numpy work.
+        self._pass_labels = labels
         self._np = np
 
     def run_arrays(self, input_arrays: Sequence, mask_arrays: Sequence) -> List:
@@ -372,35 +380,37 @@ class CompiledPlaneIR:
                         const[i] = live
                 regs[vid] = const
         inverted: Dict[str, object] = {}
-        for lowering in self._passes:
-            if lowering[0] == K_MUL:
-                pairs = lowering[1]
-                if len(pairs) == 1:
-                    a, b, out = pairs[0]
-                    regs[out] = sliced.multiply_planes(regs[a], regs[b])
-                    continue
-                stacked = sliced.multiply_planes(
-                    np.concatenate([regs[a] for a, _, _ in pairs], axis=1),
-                    np.concatenate([regs[b] for _, b, _ in pairs], axis=1),
-                )
-                width = stacked.shape[1] // len(pairs)
-                for index, (_, _, out) in enumerate(pairs):
-                    regs[out] = stacked[:, index * width:(index + 1) * width]
-            elif lowering[0] == K_LINEAR:
-                _, in_vids, out_vids, fused = lowering
-                result = fused.apply_parts([regs[vid] for vid in in_vids])
-                for position, vid in enumerate(out_vids):
-                    regs[vid] = result[position * m:(position + 1) * m]
-            else:
-                for mask_name, set_vid, clear_vid, out in lowering[1]:
-                    mask = masks[mask_name]
-                    inv = inverted.get(mask_name)
-                    if inv is None:
-                        inv = inverted[mask_name] = np.bitwise_not(mask)
-                    regs[out] = np.bitwise_or(
-                        np.bitwise_and(regs[set_vid], mask),
-                        np.bitwise_and(regs[clear_vid], inv),
+        tracer = _trace.TRACER
+        for label, lowering in zip(self._pass_labels, self._passes):
+            with tracer.span(label):
+                if lowering[0] == K_MUL:
+                    pairs = lowering[1]
+                    if len(pairs) == 1:
+                        a, b, out = pairs[0]
+                        regs[out] = sliced.multiply_planes(regs[a], regs[b])
+                        continue
+                    stacked = sliced.multiply_planes(
+                        np.concatenate([regs[a] for a, _, _ in pairs], axis=1),
+                        np.concatenate([regs[b] for _, b, _ in pairs], axis=1),
                     )
+                    width = stacked.shape[1] // len(pairs)
+                    for index, (_, _, out) in enumerate(pairs):
+                        regs[out] = stacked[:, index * width:(index + 1) * width]
+                elif lowering[0] == K_LINEAR:
+                    _, in_vids, out_vids, fused = lowering
+                    result = fused.apply_parts([regs[vid] for vid in in_vids])
+                    for position, vid in enumerate(out_vids):
+                        regs[vid] = result[position * m:(position + 1) * m]
+                else:
+                    for mask_name, set_vid, clear_vid, out in lowering[1]:
+                        mask = masks[mask_name]
+                        inv = inverted.get(mask_name)
+                        if inv is None:
+                            inv = inverted[mask_name] = np.bitwise_not(mask)
+                        regs[out] = np.bitwise_or(
+                            np.bitwise_and(regs[set_vid], mask),
+                            np.bitwise_and(regs[clear_vid], inv),
+                        )
         return [regs[vid] for vid in self._output_vids]
 
     def run(
@@ -536,7 +546,10 @@ class PlaneIRExecutor:
         key = program.key if program.key is not None else id(program)
         entry = self._compiled.get(key)
         if entry is None or entry[0] is not program:
-            entry = (program, CompiledPlaneIR(self, program))
+            with _trace.span(
+                "ir.compile", backend="bitslice", program=program.ir.name
+            ), _metrics.timed("ir.compile.bitslice"):
+                entry = (program, CompiledPlaneIR(self, program))
             self._compiled[key] = entry
         return entry[1]
 

@@ -47,6 +47,7 @@ class PythonIntBackend(FieldBackend):
         return poly_mod(clmul(a, b), self.field.modulus)
 
     def multiply_batch(self, a_values: Sequence[int], b_values: Sequence[int]) -> List[int]:
+        self._count_batch("multiply_batch", len(a_values))
         modulus = self.field.modulus
         return [poly_mod(clmul(a, b), modulus) for a, b in zip(a_values, b_values)]
 

@@ -56,7 +56,7 @@ BACKEND_ENV_VAR = "GF2M_REPRO_BACKEND"
 _FACTORIES: Dict[str, Callable[..., FieldBackend]] = {}
 
 #: Resolved backend instances keyed by (name, modulus, sorted options).
-_INSTANCES = LRUCache(maxsize=32)
+_INSTANCES = LRUCache(maxsize=32, name="backends.instances")
 
 
 def register_backend(name: str, factory: Callable[..., FieldBackend]) -> None:

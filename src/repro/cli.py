@@ -18,15 +18,25 @@ Subcommands
 ``ecdh``        run the batched ECDH workload on one curve and report ops/s
                 (``--ladder planes|steps|auto`` picks the plane-resident or
                 per-step batched-ladder path)
+``stats``       print the telemetry registry (counters, timing summaries)
+                and every named LRU cache's hit/miss/eviction stats
+``dashboard``   render the per-PR perf trajectory from the committed
+                ``BENCH_*.json`` files, with advisory regression flags
 
 ``batch``, ``bench``, ``ecdh`` and ``sweep`` accept ``--backend``
 (``python`` | ``engine`` | ``bitslice`` | ``native``, see
 :mod:`repro.backends`); the
 ``GF2M_REPRO_BACKEND`` environment variable sets the process default.
 The flag is declared once on a shared parent parser (as are ``--method``
-for ``batch``/``bench`` and ``--ladder`` for ``ecdh``) and resolved at a
-single site, :func:`_resolve_cli_backend` — subcommands cannot drift
-apart in spelling, defaults or error behavior.
+for ``batch``/``bench``, ``--ladder`` for ``ecdh`` and ``--trace-out``
+for every heavy subcommand) and resolved at a single site,
+:func:`_resolve_cli_backend` — subcommands cannot drift apart in
+spelling, defaults or error behavior.
+
+``--trace-out FILE`` (top level or on batch/bench/ecdh/sweep) records a
+span trace of the run and writes it as Chrome trace-event JSON — open it
+in Perfetto (https://ui.perfetto.dev) to see pack / per-fused-pass /
+unpack / inversion timings nested under each ladder.
 """
 
 from __future__ import annotations
@@ -35,7 +45,6 @@ import argparse
 import os
 import random
 import sys
-import time
 from typing import List, Optional
 
 from .analysis.compare import claims_report, comparison_table, compare_to_paper, run_comparison
@@ -52,9 +61,13 @@ from .hdl.vhdl import multiplier_to_behavioral_vhdl, netlist_to_vhdl
 from .multipliers.registry import TABLE5_METHODS, describe_methods, generate_multiplier
 from .netlist.simulate import simulate_words
 from .pipeline.store import ArtifactStore
-from .pipeline.sweep import format_sweep, run_sweep
+from .pipeline.sweep import format_outcome_stats, format_sweep, run_sweep
 from .synth.device import DEVICES, device_by_name
 from .synth.flow import SynthesisOptions, implement
+from .telemetry import metrics as telemetry_metrics
+from .telemetry import snapshot_all
+from .telemetry import trace as telemetry_trace
+from .telemetry.dashboard import DEFAULT_TOLERANCE, render_dashboard
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gf2m-repro",
         description="Reproduction of 'Reconfigurable implementation of GF(2^m) bit-parallel multipliers' (DATE 2018)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record a span trace of this run and write it as Chrome "
+        "trace-event JSON (open in Perfetto or chrome://tracing)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -93,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched-ladder path: 'planes' demands the plane-resident FieldIR executor, "
         "'steps' pins the per-step batch path, 'auto' (default) compiles to planes when "
         "the backend supports it",
+    )
+    # The same --trace-out accepted after the subcommand.  SUPPRESS keeps a
+    # subparser that was not given the flag from overwriting the top-level
+    # value with its own default.
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace-out", default=argparse.SUPPRESS, metavar="FILE",
+        help="record a span trace of this run as Chrome trace-event JSON",
     )
 
     def add_field_arguments(subparser: argparse.ArgumentParser) -> None:
@@ -142,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep",
-        parents=[backend_parent],
+        parents=[backend_parent, trace_parent],
         help="run a field x method x device x effort grid through the parallel pipeline",
     )
     sweep.add_argument(
@@ -170,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     batch = subparsers.add_parser(
         "batch",
-        parents=[backend_parent, method_parent],
+        parents=[backend_parent, method_parent, trace_parent],
         help="multiply operand streams through a batch backend",
     )
     add_field_arguments(batch)
@@ -187,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        parents=[backend_parent, method_parent],
+        parents=[backend_parent, method_parent, trace_parent],
         help="throughput of one field: backend vs scalar reference (or interpreted vs compiled)",
     )
     add_field_arguments(bench)
@@ -202,12 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the FieldIR pass schedule of the López-Dahab ladder step (and its compiled "
         "plane lowering when the backend has one) instead of benchmarking",
     )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="trace the compiled López-Dahab ladder step and print a per-fused-pass "
+        "timing breakdown instead of benchmarking (needs a FieldIR-capable backend)",
+    )
 
     subparsers.add_parser("curves", help="list the elliptic-curve catalog")
 
     ecdh = subparsers.add_parser(
         "ecdh",
-        parents=[backend_parent, ladder_parent],
+        parents=[backend_parent, ladder_parent, trace_parent],
         help="batched ECDH key agreement workload on one curve",
     )
     ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
@@ -217,6 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
     ecdh.add_argument(
         "--check", type=int, default=0, metavar="N",
         help="cross-check the first N results against the scalar-ladder reference path",
+    )
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="print the telemetry registry and every named LRU cache's statistics",
+    )
+    stats.add_argument("--format", choices=["table", "json"], default="table")
+
+    dashboard = subparsers.add_parser(
+        "dashboard",
+        help="render the per-PR perf trajectory from the committed BENCH_*.json files",
+    )
+    dashboard.add_argument(
+        "--dir", default=".", help="directory holding the BENCH_*.json files (default: .)"
+    )
+    dashboard.add_argument("--format", choices=["markdown", "html"], default="markdown")
+    dashboard.add_argument("--output", default="-", help="output file (default stdout)")
+    dashboard.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fractional drop vs the best prior PR that raises a regression flag "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    dashboard.add_argument(
+        "--check", action="store_true",
+        help="print regression flags to stderr instead of the rendered document; "
+        "warn-only — always exits 0 (the hard CI perf floors remain the gate)",
     )
     return parser
 
@@ -294,9 +353,9 @@ def _run_batch(args) -> int:
         field, args.backend, method=args.method, chunk_size=args.chunk_size, verify=args.m <= 16
     )
     backend.multiply_batch(a_values[:1], b_values[:1])  # pay one-time costs up front
-    start = time.perf_counter()
-    products = backend.multiply_batch(a_values, b_values)
-    elapsed = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.batch.multiply") as timer:
+        products = backend.multiply_batch(a_values, b_values)
+    elapsed = timer.seconds
     if args.check:
         for a, b, product in zip(a_values, b_values, products):
             if product != field.multiply(a, b):
@@ -336,14 +395,14 @@ def _run_bench_backend(args) -> int:
     backend = _resolve_cli_backend(field, args.backend, method=args.method, verify=args.m <= 16)
 
     backend.multiply_batch(a_values[:1], b_values[:1])  # pay one-time costs up front
-    start = time.perf_counter()
-    products = backend.multiply_batch(a_values, b_values)
-    backend_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.bench.backend") as backend_timer:
+        products = backend.multiply_batch(a_values, b_values)
+    backend_s = backend_timer.seconds
 
     scalar_pairs = pairs if args.check else min(pairs, 256)
-    start = time.perf_counter()
-    reference = [field.multiply(a, b) for a, b in zip(a_values[:scalar_pairs], b_values[:scalar_pairs])]
-    scalar_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.bench.scalar") as scalar_timer:
+        reference = [field.multiply(a, b) for a, b in zip(a_values[:scalar_pairs], b_values[:scalar_pairs])]
+    scalar_s = scalar_timer.seconds
 
     if products[:scalar_pairs] != reference:
         raise SystemExit(
@@ -401,9 +460,95 @@ def _run_bench_describe(args) -> int:
     return 0
 
 
+def _run_bench_profile(args) -> int:
+    """``repro bench --profile``: per-fused-pass timings of the ladder step.
+
+    Compiles the López-Dahab ladder-step formula for the bench field on
+    the resolved backend, runs ``m`` steps over a packed random batch
+    under a temporary tracer, and prints where each step's time goes —
+    the per-pass breakdown behind the one ``ladder.step`` number.
+    """
+    from .backends.ir import schedule_program
+    from .curves.formulas import ladder_step_ir, ladder_step_program
+
+    modulus = type_ii_pentanomial(args.m, args.n)
+    field = GF2mField(modulus, check_irreducible=False)
+    backend = _resolve_cli_backend(field, args.backend, method=args.method, verify=args.m <= 16)
+    executor = backend.ir_executor()
+    if executor is None:
+        raise SystemExit(
+            f"--profile needs a backend with a FieldIR executor; {backend.name!r} "
+            "has none (use --backend native or bitslice)"
+        )
+    curve = next(
+        (curve_by_name(spec.name) for spec in CURVES if (spec.m, spec.n) == (args.m, args.n)),
+        None,
+    )
+    if curve is not None:
+        program = ladder_step_program(curve)
+        formula = f"López-Dahab ladder step on {curve.name}"
+    else:
+        program = schedule_program(
+            ladder_step_ir(), field.m,
+            {"square": field.square_map, "mul_b": field.constant_multiplier(1)},
+        )
+        formula = f"López-Dahab ladder step over GF(2^{args.m}) (no catalog curve; b=1)"
+    compiled = executor.compile(program)
+    lanes = min(256, executor.chunk_size, max(1, args.pairs))
+    steps = field.m if not args.quick else min(field.m, 24)
+    rng = random.Random(2018)
+    base = executor.pack([rng.getrandbits(args.m) or 1 for _ in range(lanes)]).array
+    state = (
+        executor.pack([1] * lanes).array,
+        executor.pack([0] * lanes).array,
+        base.copy(),
+        executor.pack([1] * lanes).array,
+    )
+    bits = [[rng.getrandbits(1) for _ in range(lanes)] for _ in range(steps)]
+    compiled.run_arrays((*state, base), (executor.broadcast_bits(bits[0]),))  # warm
+    previous = telemetry_trace.set_tracer(telemetry_trace.Tracer())
+    try:
+        with telemetry_metrics.timed("cli.bench.profile") as timer:
+            for step in range(steps):
+                mask = executor.broadcast_bits(bits[step])
+                state = tuple(compiled.run_arrays((*state, base), (mask,)))
+        summary = telemetry_trace.aggregate_spans(
+            telemetry_trace.TRACER.events(), prefix="ir.pass."
+        )
+    finally:
+        telemetry_trace.set_tracer(previous)
+    print(f"formula: {formula}")
+    print(backend.describe())
+    print(f"{steps} fused steps x {lanes} lanes, traced per pass:")
+    total_s = sum(entry["total_s"] for entry in summary.values())
+    header = f"  {'pass':<24s} {'count':>7s} {'total ms':>10s} {'share':>7s} {'per-step µs':>12s}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for name in sorted(summary):
+        entry = summary[name]
+        share = entry["total_s"] / total_s * 100 if total_s > 0 else 0.0
+        per_step_us = entry["total_s"] / steps * 1e6
+        print(
+            f"  {name:<24s} {entry['count']:>7.0f} {entry['total_s'] * 1000:>10.2f} "
+            f"{share:>6.1f}% {per_step_us:>12.1f}"
+        )
+    overhead_s = timer.seconds - total_s
+    print(
+        f"  {'(outside passes)':<24s} {'':>7s} {overhead_s * 1000:>10.2f} "
+        f"{(overhead_s / timer.seconds * 100 if timer.seconds > 0 else 0.0):>6.1f}%"
+    )
+    print(
+        f"total {timer.seconds * 1000:.2f} ms "
+        f"({steps * lanes / timer.seconds:,.0f} ladder-step-lanes/s)"
+    )
+    return 0
+
+
 def _run_bench(args) -> int:
     if args.describe:
         return _run_bench_describe(args)
+    if args.profile:
+        return _run_bench_profile(args)
     if args.backend or os.environ.get(BACKEND_ENV_VAR):
         # An explicit flag or the process-wide env default selects the
         # backend-vs-scalar comparison (a bad env value fails loudly there).
@@ -416,15 +561,15 @@ def _run_bench(args) -> int:
     b_values = [rng.getrandbits(args.m) for _ in range(pairs)]
     multiplier = generate_multiplier(method, modulus, verify=args.m <= 16)
 
-    start = time.perf_counter()
-    interpreted = simulate_words(multiplier.netlist, args.m, a_values, b_values)
-    interpreted_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.bench.interpreted") as interpreted_timer:
+        interpreted = simulate_words(multiplier.netlist, args.m, a_values, b_values)
+    interpreted_s = interpreted_timer.seconds
 
     engine = engine_for(method, modulus, verify=False)
     engine.multiply_batch(a_values[:1], b_values[:1])  # warm the compiled path
-    start = time.perf_counter()
-    compiled = engine.multiply_batch(a_values, b_values)
-    compiled_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.bench.compiled") as compiled_timer:
+        compiled = engine.multiply_batch(a_values, b_values)
+    compiled_s = compiled_timer.seconds
 
     if compiled != interpreted:
         raise SystemExit("engine and interpreter disagree — refusing to report throughput")
@@ -435,20 +580,38 @@ def _run_bench(args) -> int:
     return 0
 
 
-def _ecdh_shard(payload) -> List[tuple]:
+def _ecdh_shard(payload) -> tuple:
     """Worker for ``repro ecdh --jobs``: one shard of the agreement batch.
 
     Takes plain picklable data (curve name, backend name, ladder path,
     scalars, peer coordinates) and returns coordinate tuples so shards
     compose deterministically.  Under the ``fork`` start method the child
     inherits the parent's warm engine/backend and curve caches, so no
-    per-worker recompilation happens.
+    per-worker recompilation happens.  The shard runs against a fresh
+    local metrics registry (the forked copy of the parent's counters must
+    not be double-reported) and ships its snapshot back with the
+    coordinates; the parent folds every shard's snapshot into the process
+    registry.
     """
     curve_name, backend, plane_resident, privates, peer_coords = payload
     curve = curve_by_name(curve_name)
     peers = [curve.point(x, y, check=False) for x, y in peer_coords]
-    points = ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
-    return [(point.x, point.y) for point in points]
+    snapshot = None
+    if telemetry_metrics.REGISTRY.enabled:
+        local = telemetry_metrics.MetricsRegistry()
+        previous = telemetry_metrics.set_registry(local)
+        try:
+            points = ecdh_batch(
+                curve, privates, peers, backend=backend, plane_resident=plane_resident
+            )
+        finally:
+            telemetry_metrics.set_registry(previous)
+        snapshot = local.snapshot()
+    else:
+        points = ecdh_batch(
+            curve, privates, peers, backend=backend, plane_resident=plane_resident
+        )
+    return [(point.x, point.y) for point in points], snapshot
 
 
 def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None, plane_resident=None) -> List:
@@ -476,7 +639,11 @@ def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None, plane_resi
     context = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         shard_results = list(pool.map(_ecdh_shard, payloads))
-    return [curve.point(x, y, check=False) for shard in shard_results for x, y in shard]
+    registry = telemetry_metrics.REGISTRY
+    if registry.enabled:
+        for _, snapshot in shard_results:
+            registry.merge(snapshot)
+    return [curve.point(x, y, check=False) for coords, _ in shard_results for x, y in coords]
 
 
 def _run_ecdh(args) -> int:
@@ -499,35 +666,35 @@ def _run_ecdh(args) -> int:
         )
     print(curve.describe())
 
-    start = time.perf_counter()
-    alice = keygen_batch(
-        curve, args.batch, seed=args.seed, backend=args.backend, plane_resident=plane_resident
-    )
-    bob = keygen_batch(
-        curve, args.batch, seed=args.seed + 1, backend=args.backend, plane_resident=plane_resident
-    )
-    keygen_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.ecdh.keygen") as keygen_timer:
+        alice = keygen_batch(
+            curve, args.batch, seed=args.seed, backend=args.backend, plane_resident=plane_resident
+        )
+        bob = keygen_batch(
+            curve, args.batch, seed=args.seed + 1, backend=args.backend, plane_resident=plane_resident
+        )
+    keygen_s = keygen_timer.seconds
 
     alice_privates = [pair.private for pair in alice]
     bob_privates = [pair.private for pair in bob]
-    start = time.perf_counter()
-    alice_shared = _ecdh_agreements(
-        curve,
-        alice_privates,
-        [pair.public for pair in bob],
-        args.jobs,
-        backend=args.backend,
-        plane_resident=plane_resident,
-    )
-    bob_shared = _ecdh_agreements(
-        curve,
-        bob_privates,
-        [pair.public for pair in alice],
-        args.jobs,
-        backend=args.backend,
-        plane_resident=plane_resident,
-    )
-    agree_s = time.perf_counter() - start
+    with telemetry_metrics.timed("cli.ecdh.agreement") as agree_timer:
+        alice_shared = _ecdh_agreements(
+            curve,
+            alice_privates,
+            [pair.public for pair in bob],
+            args.jobs,
+            backend=args.backend,
+            plane_resident=plane_resident,
+        )
+        bob_shared = _ecdh_agreements(
+            curve,
+            bob_privates,
+            [pair.public for pair in alice],
+            args.jobs,
+            backend=args.backend,
+            plane_resident=plane_resident,
+        )
+    agree_s = agree_timer.seconds
 
     if alice_shared != bob_shared:
         raise SystemExit("ECDH FAILURE: the two sides disagree on the shared secret")
@@ -634,10 +801,84 @@ def _run_sweep(args) -> int:
         raise SystemExit(str(error.args[0])) from None
     print(format_sweep(result, fmt=args.format))
     if args.stats:
-        for outcome in result.outcomes:
-            status = "hit " if outcome.cache_hit else "miss"
-            print(f"  [{status}] {outcome.job.label:<45s} {outcome.elapsed_s * 1000:>8.1f} ms", file=sys.stderr)
+        for line in format_outcome_stats(result.outcomes):
+            print(line, file=sys.stderr)
     print(f"sweep: {result.summary()}", file=sys.stderr)
+    return 0
+
+
+def _run_stats(args) -> int:
+    """``repro stats``: the registry plus every named cache, table or JSON."""
+    snapshot = snapshot_all()
+    if args.format == "json":
+        import json
+
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+        return 0
+    counters = snapshot["metrics"]["counters"]
+    observations = snapshot["metrics"]["observations"]
+    gauges = snapshot["metrics"]["gauges"]
+    print("counters")
+    for name in sorted(counters):
+        print(f"  {name:<48s} {counters[name]:>14,d}")
+    if not counters:
+        print("  (none)")
+    if gauges:
+        print("gauges")
+        for name in sorted(gauges):
+            print(f"  {name:<48s} {gauges[name]:>14,.6g}")
+    print("timings")
+    for name in sorted(observations):
+        entry = observations[name]
+        mean_ms = entry["total_s"] / entry["count"] * 1000 if entry["count"] else 0.0
+        print(
+            f"  {name:<48s} {entry['count']:>8,d} x {mean_ms:>10.3f} ms avg "
+            f"(total {entry['total_s']:.3f} s, min {entry['min_s'] * 1000:.3f} ms, "
+            f"max {entry['max_s'] * 1000:.3f} ms)"
+        )
+    if not observations:
+        print("  (none)")
+    print("caches  (hits / misses / evictions / size)")
+    for name, info in sorted(snapshot["caches"].items()):
+        print(
+            f"  {name:<48s} {info['hits']:>8,d} / {info['misses']:>6,d} / "
+            f"{info['evictions']:>4,d} / {info['currsize']}({info['maxsize']})"
+        )
+    return 0
+
+
+def _run_dashboard(args) -> int:
+    """``repro dashboard``: perf trajectory over the committed bench files."""
+    try:
+        document, regressions = render_dashboard(
+            args.dir, fmt=args.format, tolerance=args.tolerance
+        )
+    except ValueError as error:
+        raise SystemExit(f"dashboard: {error}") from None
+    if args.check:
+        if regressions:
+            print(
+                f"dashboard: {len(regressions)} regression flag(s) beyond "
+                f"{args.tolerance * 100:.0f}% tolerance (warn-only):",
+                file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  WARN {regression.describe()}", file=sys.stderr)
+        else:
+            print("dashboard: no regressions flagged", file=sys.stderr)
+        return 0
+    if args.output == "-":
+        print(document)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.format} dashboard to {args.output}", file=sys.stderr)
+    if regressions:
+        print(
+            f"dashboard: {len(regressions)} regression flag(s) beyond "
+            f"{args.tolerance * 100:.0f}% tolerance (warn-only)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -645,7 +886,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return _dispatch(parser, args)
+    # --trace-out: collect spans for the whole command, write the Chrome
+    # trace-event file even when the command exits early, then restore the
+    # no-op tracer (main() may be called repeatedly in one process).
+    telemetry_trace.enable()
+    try:
+        return _dispatch(parser, args)
+    finally:
+        count = telemetry_trace.write_chrome_trace(trace_out)
+        print(f"wrote {count} trace events to {trace_out}", file=sys.stderr)
+        telemetry_trace.disable()
 
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
+    """Route parsed arguments to their subcommand implementation."""
     if args.command == "methods":
         for metadata in describe_methods():
             print(f"{metadata['name']:<15s} {metadata['reference']:<45s} {metadata['description']}")
@@ -668,6 +925,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "ecdh":
         return _run_ecdh(args)
+
+    if args.command == "stats":
+        return _run_stats(args)
+
+    if args.command == "dashboard":
+        return _run_dashboard(args)
 
     if args.command == "tables":
         modulus = type_ii_pentanomial(args.m, args.n)

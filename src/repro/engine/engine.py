@@ -179,7 +179,7 @@ class Engine:
 
 
 #: Engines keyed by (method, modulus, mode) — the hot path of `engine_for`.
-_ENGINE_CACHE = LRUCache(maxsize=16)
+_ENGINE_CACHE = LRUCache(maxsize=16, name="engine.compiled")
 
 #: Engines for caller-owned netlists, dropped when the netlist is collected.
 _NETLIST_ENGINES: "weakref.WeakKeyDictionary[Netlist, Dict[Tuple[int, str], Engine]]" = (

@@ -24,6 +24,8 @@ from ..pipeline.store import LRUCache
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Optional
+
     from ..pipeline.store import CacheInfo
 
 __all__ = [
@@ -51,8 +53,8 @@ class MultiplierCache:
     entry and verification is upgraded in place at most once.
     """
 
-    def __init__(self, maxsize: int = 32) -> None:
-        self._cache = LRUCache(maxsize=maxsize)
+    def __init__(self, maxsize: int = 32, name: "Optional[str]" = None) -> None:
+        self._cache = LRUCache(maxsize=maxsize, name=name)
         self._lock = threading.RLock()
 
     def get(self, method: str, modulus: int, verify: bool = True):
@@ -104,7 +106,7 @@ class MultiplierCache:
 
 
 #: Process-wide default cache used by the registry, CLI and benchmarks.
-_DEFAULT_CACHE = MultiplierCache(maxsize=32)
+_DEFAULT_CACHE = MultiplierCache(maxsize=32, name="multipliers")
 
 
 def default_multiplier_cache() -> MultiplierCache:

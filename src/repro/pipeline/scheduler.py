@@ -27,6 +27,8 @@ from ..galois.pentanomials import type_ii_pentanomial
 from ..synth.device import ARTIX7
 from ..synth.flow import SynthesisOptions
 from ..synth.report import ImplementationResult
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
 from .stages import run_stages
 from .store import ArtifactStore, canonical_fingerprint
 
@@ -78,6 +80,10 @@ class JobOutcome:
     result: ImplementationResult
     cache_hit: bool
     elapsed_s: float
+    #: Metrics snapshot recorded by a pool worker's local registry; the
+    #: parent folds it into the process registry in :func:`run_jobs` (stays
+    #: ``None`` for in-process execution, which records directly).
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 def artifact_key(job: SweepJob) -> str:
@@ -113,44 +119,69 @@ def execute_job(job: SweepJob, store: Optional[ArtifactStore] = None) -> JobOutc
     """
     started = time.perf_counter()
     key = artifact_key(job)
-    if store is not None:
-        payload = store.get_json(key)
-        if payload is not None:
-            result = ImplementationResult.from_json_dict(payload["result"])
-            return JobOutcome(job=job, result=result, cache_hit=True, elapsed_s=time.perf_counter() - started)
-    trace = run_stages(
-        job.method,
-        job.modulus,
-        device=job.device,
-        options=job.options,
-        verify=job.verify,
-        backend=job.backend,
-    )
-    result = trace.artifacts.result
-    if store is not None:
-        store.put_json(
-            key,
-            {
-                "result": result.to_json_dict(),
-                "job": {
-                    "method": job.method,
-                    "m": job.m,
-                    "n": job.n,
-                    "device": job.device.name,
-                    "effort": job.options.effort,
-                    "backend": job.backend,
-                },
-                "stage_seconds": {name: round(seconds, 6) for name, seconds in trace.stage_seconds.items()},
-            },
+    with _trace.span("sweep.job", label=job.label):
+        if store is not None:
+            payload = store.get_json(key)
+            if payload is not None:
+                result = ImplementationResult.from_json_dict(payload["result"])
+                _record_job(True, time.perf_counter() - started)
+                return JobOutcome(job=job, result=result, cache_hit=True, elapsed_s=time.perf_counter() - started)
+        stage_trace = run_stages(
+            job.method,
+            job.modulus,
+            device=job.device,
+            options=job.options,
+            verify=job.verify,
+            backend=job.backend,
         )
+        result = stage_trace.artifacts.result
+        if store is not None:
+            store.put_json(
+                key,
+                {
+                    "result": result.to_json_dict(),
+                    "job": {
+                        "method": job.method,
+                        "m": job.m,
+                        "n": job.n,
+                        "device": job.device.name,
+                        "effort": job.options.effort,
+                        "backend": job.backend,
+                    },
+                    "stage_seconds": {name: round(seconds, 6) for name, seconds in stage_trace.stage_seconds.items()},
+                },
+            )
+    _record_job(False, time.perf_counter() - started)
     return JobOutcome(job=job, result=result, cache_hit=False, elapsed_s=time.perf_counter() - started)
 
 
+def _record_job(cache_hit: bool, elapsed_s: float) -> None:
+    """Telemetry for one finished job: hit/miss counter + elapsed summary."""
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        registry.inc("sweep.jobs.cache_hit" if cache_hit else "sweep.jobs.executed")
+        registry.observe("sweep.job.seconds", elapsed_s)
+
+
 def _execute_job_in_worker(payload) -> JobOutcome:
-    """Top-level worker entry point (must be picklable by the pool)."""
+    """Top-level worker entry point (must be picklable by the pool).
+
+    Each job runs against a fresh local registry (so forked counter state
+    is never double-reported) and ships its snapshot back on the outcome;
+    with telemetry disabled the job runs bare and ships nothing.
+    """
     job, store_root = payload
     store = ArtifactStore(store_root) if store_root is not None else None
-    return execute_job(job, store=store)
+    if not _metrics.REGISTRY.enabled:
+        return execute_job(job, store=store)
+    local = _metrics.MetricsRegistry()
+    previous = _metrics.set_registry(local)
+    try:
+        outcome = execute_job(job, store=store)
+    finally:
+        _metrics.set_registry(previous)
+    outcome.telemetry = local.snapshot()
+    return outcome
 
 
 def run_jobs(
@@ -173,7 +204,15 @@ def run_jobs(
     workers = min(parallelism, len(jobs))
     payloads = [(job, store_root) for job in jobs]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_execute_job_in_worker, payloads, chunksize=1))
+        outcomes = list(pool.map(_execute_job_in_worker, payloads, chunksize=1))
+    # Fold each worker's snapshot into this process's registry, so `repro
+    # stats` after a parallel sweep reads the same aggregate a serial run
+    # would have recorded.
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        for outcome in outcomes:
+            registry.merge(outcome.telemetry)
+    return outcomes
 
 
 def outcome_rows(outcomes: Sequence[JobOutcome]) -> List[Dict[str, Any]]:

@@ -34,9 +34,12 @@ import os
 import pickle
 import tempfile
 import threading
+import weakref
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, NamedTuple, Optional
+
+from ..telemetry import metrics as _metrics
 
 __all__ = [
     "CacheInfo",
@@ -45,6 +48,7 @@ __all__ = [
     "StoreInfo",
     "canonical_fingerprint",
     "default_cache_root",
+    "named_caches",
 ]
 
 #: Bumped whenever the flow produces different artifacts for identical
@@ -70,17 +74,25 @@ class LRUCache:
     cache lock, so concurrent requests for the same key never duplicate the
     (potentially expensive) construction work.  Pure-Python multiplier
     generation holds the GIL anyway, so serializing builders costs nothing.
+
+    A ``name`` registers the instance in the process-wide named-cache view
+    (see :func:`named_caches`), which is how ``repro stats`` surfaces every
+    long-lived memo — multipliers, compiled engines, bitsliced netlists,
+    plane programs, FieldIR programs, backend instances — in one table.
     """
 
-    def __init__(self, maxsize: int = 32) -> None:
+    def __init__(self, maxsize: int = 32, name: Optional[str] = None) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self._maxsize = maxsize
+        self.name = name
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        if name is not None:
+            _NAMED_CACHES[name] = self
 
     def get_or_create(self, key: Hashable, factory: Callable[[], object]) -> object:
         """Return the cached value for ``key``, building it with ``factory`` on a miss."""
@@ -120,6 +132,16 @@ class LRUCache:
         """Hit/miss/eviction counters and current occupancy."""
         with self._lock:
             return CacheInfo(self._hits, self._misses, self._evictions, len(self._entries), self._maxsize)
+
+
+#: Weak registry of named caches: entries disappear with their cache, so
+#: tests that build throwaway instances never pollute ``repro stats``.
+_NAMED_CACHES: "weakref.WeakValueDictionary[str, LRUCache]" = weakref.WeakValueDictionary()
+
+
+def named_caches() -> Dict[str, LRUCache]:
+    """The live named :class:`LRUCache` instances, by name."""
+    return dict(_NAMED_CACHES)
 
 
 # --------------------------------------------------------------------- disk
@@ -208,6 +230,9 @@ class ArtifactStore:
                 self._hits += 1
             else:
                 self._misses += 1
+        registry = _metrics.REGISTRY
+        if registry.enabled:
+            registry.inc("artifact_store.hits" if hit else "artifact_store.misses")
 
     def get_json(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored JSON payload for ``key``, or ``None`` on a miss."""
@@ -257,6 +282,9 @@ class ArtifactStore:
             raise
         with self._lock:
             self._writes += 1
+        registry = _metrics.REGISTRY
+        if registry.enabled:
+            registry.inc("artifact_store.writes")
         return path
 
     # ---------------------------------------------------------- maintenance

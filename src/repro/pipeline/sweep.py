@@ -29,7 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .scheduler import JobOutcome
     from .store import ArtifactStore
 
-__all__ = ["SweepResult", "build_sweep_jobs", "run_sweep", "format_sweep"]
+__all__ = [
+    "SweepResult",
+    "build_sweep_jobs",
+    "run_sweep",
+    "format_sweep",
+    "format_outcome_stats",
+]
 
 #: Fields with m at or below this are formally verified during generation
 #: (mirrors ``run_comparison``'s default).
@@ -185,6 +191,22 @@ def _format_table(result: SweepResult) -> str:
             f"{outcome.job.device.name:<18s} {outcome.job.options.effort:>6d}"
         )
     return "\n".join(lines)
+
+
+def format_outcome_stats(outcomes: Sequence["JobOutcome"]) -> List[str]:
+    """The per-job ``--stats`` lines: cache status, label, elapsed time.
+
+    One line per outcome, straight from the scheduler's recorded
+    ``cache_hit``/``elapsed_s`` fields — the CLI prints these verbatim and
+    the tests assert the correspondence end-to-end.
+    """
+    lines: List[str] = []
+    for outcome in outcomes:
+        status = "hit " if outcome.cache_hit else "miss"
+        lines.append(
+            f"  [{status}] {outcome.job.label:<45s} {outcome.elapsed_s * 1000:>8.1f} ms"
+        )
+    return lines
 
 
 def format_sweep(result: SweepResult, fmt: str = "table") -> str:

@@ -1,0 +1,246 @@
+"""Process-wide metrics: counters, gauges and timing observations.
+
+The registry is deliberately tiny — three dictionaries behind one lock —
+because it sits inside hot paths (``multiply_batch`` on every backend,
+the artifact store, the sweep scheduler).  Two design rules keep it out
+of the way of the benchmarks:
+
+* **one attribute check gates everything** — instrumented call sites do
+  ``reg = REGISTRY`` then ``if reg.enabled:``; with the no-op
+  :class:`NullRegistry` installed that is a single class-attribute load
+  and the hot path performs no dict lookups at all;
+* **snapshots are mergeable** — process-pool sweep workers and ``repro
+  ecdh --jobs`` shards run with their own local registry, return
+  :meth:`MetricsRegistry.snapshot` next to their results, and the parent
+  folds them in with :meth:`MetricsRegistry.merge`.  Counters and
+  observation summaries add; gauges are last-write-wins.
+
+Histogram-style data is kept as *observations*: per-name
+``count/total/min/max`` summaries.  That is what merging across
+processes can do exactly (quantiles cannot be merged without sketches,
+and a sketch is not worth a third-party dependency here).
+
+Telemetry is **on by default** — the per-batch cost is two dict updates,
+invisible next to any field operation — and can be switched off for
+A/B measurements with ``GF2M_REPRO_TELEMETRY=0`` or
+``set_registry(NullRegistry())``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any, Dict, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "Stopwatch",
+    "REGISTRY",
+    "default_registry",
+    "set_registry",
+    "enable",
+    "disable",
+    "timed",
+]
+
+
+class Stopwatch:
+    """Context manager that always measures and optionally records.
+
+    ``with timed("cli.bench.compiled") as timer: ...`` then
+    ``timer.seconds`` — the elapsed time is available to the caller even
+    when telemetry is off (the CLI prints rates from it), and is folded
+    into the registry's observations only when the registry is enabled.
+    """
+
+    __slots__ = ("_registry", "name", "seconds", "_start")
+
+    def __init__(self, registry: "MetricsRegistry | NullRegistry", name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+        registry = self._registry
+        if registry.enabled:
+            registry.observe(self.name, self.seconds)
+
+
+class MetricsRegistry:
+    """Thread-safe counters / gauges / observations with mergeable snapshots."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: "Dict[str, int]" = {}
+        self._gauges: "Dict[str, float]" = {}
+        # name -> [count, total_seconds, min_seconds, max_seconds]
+        self._observations: "Dict[str, list]" = {}
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            entry = self._observations.get(name)
+            if entry is None:
+                self._observations[name] = [1, seconds, seconds, seconds]
+            else:
+                entry[0] += 1
+                entry[1] += seconds
+                if seconds < entry[2]:
+                    entry[2] = seconds
+                if seconds > entry[3]:
+                    entry[3] = seconds
+
+    def record_batch(self, backend_name: str, op: str, elements: int) -> None:
+        """Count one batched field-op call and its element width."""
+        prefix = f"backend.{backend_name}.{op}"
+        with self._lock:
+            counters = self._counters
+            counters[prefix + ".calls"] = counters.get(prefix + ".calls", 0) + 1
+            counters[prefix + ".elements"] = counters.get(prefix + ".elements", 0) + elements
+
+    def timed(self, name: str) -> Stopwatch:
+        return Stopwatch(self, name)
+
+    # -- snapshots ----------------------------------------------------
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """A plain-dict copy, safe to pickle across process boundaries."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "observations": {
+                    name: {
+                        "count": entry[0],
+                        "total_s": entry[1],
+                        "min_s": entry[2],
+                        "max_s": entry[3],
+                    }
+                    for name, entry in self._observations.items()
+                },
+            }
+
+    def merge(self, snapshot: "Optional[Dict[str, Any]]") -> None:
+        """Fold a :meth:`snapshot` from another registry into this one."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, summary in snapshot.get("observations", {}).items():
+                entry = self._observations.get(name)
+                if entry is None:
+                    self._observations[name] = [
+                        summary["count"],
+                        summary["total_s"],
+                        summary["min_s"],
+                        summary["max_s"],
+                    ]
+                else:
+                    entry[0] += summary["count"]
+                    entry[1] += summary["total_s"]
+                    entry[2] = min(entry[2], summary["min_s"])
+                    entry[3] = max(entry[3], summary["max_s"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._observations.clear()
+
+
+class NullRegistry:
+    """No-op stand-in: ``enabled`` is False and every method does nothing."""
+
+    enabled = False
+
+    def inc(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def record_batch(self, backend_name: str, op: str, elements: int) -> None:
+        pass
+
+    def timed(self, name: str) -> Stopwatch:
+        return Stopwatch(self, name)
+
+    def snapshot(self) -> "Dict[str, Any]":
+        return {"counters": {}, "gauges": {}, "observations": {}}
+
+    def merge(self, snapshot: "Optional[Dict[str, Any]]") -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+def _initial_registry() -> "MetricsRegistry | NullRegistry":
+    flag = os.environ.get("GF2M_REPRO_TELEMETRY", "1").strip().lower()
+    if flag in ("0", "off", "false", "no"):
+        return NullRegistry()
+    return MetricsRegistry()
+
+
+#: The process-wide default registry.  Instrumented call sites read this
+#: module attribute at call time (``metrics.REGISTRY``), so swapping it
+#: with :func:`set_registry` redirects all future recording.
+REGISTRY: "MetricsRegistry | NullRegistry" = _initial_registry()
+
+
+def default_registry() -> "MetricsRegistry | NullRegistry":
+    return REGISTRY
+
+
+def set_registry(registry: "MetricsRegistry | NullRegistry") -> "MetricsRegistry | NullRegistry":
+    """Install ``registry`` process-wide; returns the previous one."""
+    global REGISTRY
+    previous = REGISTRY
+    REGISTRY = registry
+    return previous
+
+
+def enable() -> MetricsRegistry:
+    """Ensure a live registry is installed (keeps an existing live one)."""
+    global REGISTRY
+    if not isinstance(REGISTRY, MetricsRegistry):
+        REGISTRY = MetricsRegistry()
+    return REGISTRY
+
+
+def disable() -> None:
+    """Install the no-op registry (hot paths cost one attribute check)."""
+    set_registry(NullRegistry())
+
+
+def timed(name: str) -> Stopwatch:
+    """A :class:`Stopwatch` bound to the current process-wide registry."""
+    return Stopwatch(REGISTRY, name)

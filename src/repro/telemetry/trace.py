@@ -1,0 +1,192 @@
+"""Span tracing with Chrome trace-event export.
+
+``with span("ladder.step", m=163, backend="native"): ...`` records one
+complete ("ph": "X") event per exit — name, start offset and duration in
+microseconds, process/thread ids and the keyword arguments — into the
+process-wide :data:`TRACER`.  The buffer serialises to the Chrome
+trace-event JSON format, so a file written by ``repro --trace-out
+FILE …`` opens directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` with spans nested by their timestamps.
+
+Tracing is **off by default**: the shared :class:`NullTracer` hands back
+one reusable no-op span, so an instrumented hot loop pays one attribute
+check plus one no-op ``with`` per span.  Per-ladder-step spans are
+therefore affordable to leave in the code; the expensive part (building
+event dicts, and on the native backend splitting the fused program into
+one C call per pass) only happens once a real :class:`Tracer` is
+installed via :func:`enable` or :func:`set_tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "TRACER",
+    "span",
+    "set_tracer",
+    "enable",
+    "disable",
+    "write_chrome_trace",
+    "aggregate_spans",
+]
+
+
+class _Span:
+    """A live span: records one complete event on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, args: "Dict[str, Any]") -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = time.perf_counter()
+        self._tracer._record(self.name, self.args, self._start, end - self._start)
+
+
+class _NullSpan:
+    """Shared reusable no-op span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: ``enabled`` is False, spans are shared no-ops."""
+
+    enabled = False
+
+    def span(self, name: str, **args: "Any") -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> "List[Dict[str, Any]]":
+        return []
+
+
+class Tracer:
+    """Collects Chrome trace-event complete ("X") events in memory."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: "List[Dict[str, Any]]" = []
+        self._t0 = time.perf_counter()
+        self._pid = os.getpid()
+
+    def span(self, name: str, **args: "Any") -> _Span:
+        return _Span(self, name, args)
+
+    def _record(self, name: str, args: "Dict[str, Any]", start: float, duration: float) -> None:
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": (start - self._t0) * 1e6,
+            "dur": duration * 1e6,
+            "pid": self._pid,
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> "List[Dict[str, Any]]":
+        with self._lock:
+            return list(self._events)
+
+    def chrome_trace(self) -> "Dict[str, Any]":
+        """The full buffer in Chrome trace-event JSON form."""
+        return {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+
+
+#: The process-wide tracer.  Instrumented call sites read this module
+#: attribute at call time (``trace.TRACER``) and gate on ``.enabled``.
+TRACER: "Tracer | NullTracer" = NullTracer()
+
+
+def set_tracer(tracer: "Tracer | NullTracer") -> "Tracer | NullTracer":
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global TRACER
+    previous = TRACER
+    TRACER = tracer
+    return previous
+
+
+def enable() -> Tracer:
+    """Install (and return) a fresh collecting tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    set_tracer(NullTracer())
+
+
+def span(name: str, **args: "Any") -> "_Span | _NullSpan":
+    """A span on the current process-wide tracer."""
+    return TRACER.span(name, **args)
+
+
+def write_chrome_trace(path: str, tracer: "Optional[Tracer]" = None) -> int:
+    """Write the tracer's buffer as Chrome trace-event JSON; returns event count."""
+    target = tracer if tracer is not None else TRACER
+    if isinstance(target, NullTracer):
+        payload: "Dict[str, Any]" = {"traceEvents": [], "displayTimeUnit": "ms"}
+        count = 0
+    else:
+        payload = target.chrome_trace()
+        count = len(payload["traceEvents"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return count
+
+
+def aggregate_spans(
+    events: "List[Dict[str, Any]]", prefix: str = ""
+) -> "Dict[str, Dict[str, float]]":
+    """Per-name ``{count, total_s}`` over ``events`` (filtered by name prefix).
+
+    Used by ``repro bench --profile`` to turn a buffer of per-pass spans
+    into a per-pass breakdown table.
+    """
+    summary: "Dict[str, Dict[str, float]]" = {}
+    for event in events:
+        name = event.get("name", "")
+        if prefix and not name.startswith(prefix):
+            continue
+        entry = summary.get(name)
+        seconds = event.get("dur", 0.0) / 1e6
+        if entry is None:
+            summary[name] = {"count": 1, "total_s": seconds}
+        else:
+            entry["count"] += 1
+            entry["total_s"] += seconds
+    return summary

@@ -1,0 +1,78 @@
+"""Schema checks on the committed BENCH_*.json trajectory snapshots.
+
+Every file at the repo root must parse, satisfy the shared
+``{bench, commit_pr, config, results}`` schema the dashboard consumes,
+and — from PR 8 on — carry the provenance stamps ``write_bench_json``
+adds next to the platform block (``git_commit`` + ISO-8601 UTC
+``timestamp_utc``).  Older snapshots kept as trajectory history predate
+the stamps and are exempt.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+
+import pytest
+
+from repro.telemetry.dashboard import validate_snapshot
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The first PR whose snapshots carry the provenance stamps.
+STAMPED_SINCE_PR = 8
+
+ISO_UTC = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z$")
+GIT_HASH = re.compile(r"^[0-9a-f]{40}$")
+
+
+def _committed_bench_files():
+    paths = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    assert paths, "no committed BENCH_*.json files at the repo root"
+    return paths
+
+
+def _snapshots(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return payload if isinstance(payload, list) else [payload]
+
+
+@pytest.mark.parametrize("path", _committed_bench_files(), ids=os.path.basename)
+class TestCommittedBenchSchema:
+    def test_every_snapshot_satisfies_the_shared_schema(self, path):
+        for index, snapshot in enumerate(_snapshots(path)):
+            problems = validate_snapshot(snapshot)
+            assert not problems, f"{os.path.basename(path)} entry {index}: {problems}"
+
+    def test_bench_name_matches_the_filename(self, path):
+        expected = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        for snapshot in _snapshots(path):
+            assert snapshot["bench"] == expected
+
+    def test_platform_stamp_present_in_every_snapshot(self, path):
+        for snapshot in _snapshots(path):
+            platform = snapshot["config"]["platform"]
+            assert platform["python"] and platform["machine"]
+
+    def test_recent_snapshots_carry_provenance_stamps(self, path):
+        stamped = [s for s in _snapshots(path) if s["commit_pr"] >= STAMPED_SINCE_PR]
+        assert stamped, f"{os.path.basename(path)} has no PR >= {STAMPED_SINCE_PR} snapshot"
+        for snapshot in stamped:
+            config = snapshot["config"]
+            assert GIT_HASH.match(config["git_commit"] or ""), "missing/odd git_commit stamp"
+            assert ISO_UTC.match(config["timestamp_utc"] or ""), "missing/odd timestamp_utc stamp"
+
+    def test_history_is_sorted_by_commit_pr_without_duplicates(self, path):
+        prs = [snapshot["commit_pr"] for snapshot in _snapshots(path)]
+        assert prs == sorted(prs)
+        assert len(prs) == len(set(prs))
+
+    def test_results_rows_expose_at_least_one_metric(self, path):
+        from repro.telemetry.dashboard import is_metric_key
+
+        for snapshot in _snapshots(path):
+            for row in snapshot["results"]:
+                assert any(is_metric_key(key) for key in row), f"no metric field in {row}"

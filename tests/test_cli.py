@@ -342,3 +342,177 @@ class TestEcdhCommand:
         pytest.importorskip("numpy")
         assert main(["ecdh", "--curve", "T-13", "--batch", "2", "--backend", "bitslice"]) == 0
         assert "(plane-resident ladder)" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        from repro.telemetry import metrics
+
+        previous = metrics.set_registry(metrics.MetricsRegistry())
+        yield
+        metrics.set_registry(previous)
+
+    def test_stats_table_lists_sections_and_named_caches(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        for section in ("counters", "timings", "caches"):
+            assert section in out
+        for cache in ("multipliers", "ir.programs", "backends.instances"):
+            assert cache in out
+
+    def test_stats_json_is_parseable_snapshot(self, capsys):
+        import json
+
+        assert main(["stats", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"metrics", "caches"}
+        assert "multipliers" in snapshot["caches"]
+
+    def test_warm_sweep_rerun_shows_nonzero_artifact_hits(self, tmp_path, capsys):
+        cache_args = ["sweep", "--fields", "8:2", "--methods", "thiswork",
+                      "--efforts", "1", "--cache-dir", str(tmp_path / "cache")]
+        assert main(cache_args) == 0
+        assert main(cache_args) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "artifact_store.hits" in out
+        assert "sweep.jobs.cache_hit" in out
+        assert "sweep.job.seconds" in out
+
+    def test_batch_command_records_backend_batch_counters(self, capsys):
+        assert main(["batch", "-m", "8", "-n", "2", "--count", "16",
+                     "--backend", "python"]) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "backend.python.multiply_batch.calls" in out
+        assert "backend.python.multiply_batch.elements" in out
+        assert "cli.batch.multiply" in out
+
+
+class TestSweepStatsCorrespondence:
+    def test_stats_lines_match_job_outcomes(self):
+        from repro.pipeline.sweep import format_outcome_stats, run_sweep
+
+        result = run_sweep(fields=[(8, 2)], methods=["thiswork"], efforts=[1])
+        lines = format_outcome_stats(result.outcomes)
+        assert len(lines) == len(result.outcomes)
+        for line, outcome in zip(lines, result.outcomes):
+            assert ("[hit ]" if outcome.cache_hit else "[miss]") in line
+            assert outcome.job.label in line
+            assert f"{outcome.elapsed_s * 1000:.1f} ms" in line
+
+    def test_cli_sweep_stats_prints_the_same_lines(self, capsys):
+        assert main(["sweep", "--fields", "8:2", "--methods", "thiswork",
+                     "--efforts", "1", "--no-cache", "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "[miss] thiswork@(8,2)" in err and " ms" in err
+
+
+class TestTraceOut:
+    def test_ecdh_trace_out_writes_parseable_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        pytest.importorskip("numpy")
+        path = tmp_path / "trace.json"
+        assert main(["--trace-out", str(path), "ecdh", "--curve", "B-163",
+                     "--batch", "64"]) == 0
+        err = capsys.readouterr().err
+        assert "trace events" in err
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        names = {event["name"] for event in events}
+        # The acceptance span set: pack, per-step fused passes, unpack,
+        # and the final batched inversion.
+        assert "ladder.pack" in names
+        assert "ladder.step" in names
+        assert "ladder.unpack" in names
+        assert "ladder.inverse_batch" in names
+        assert any(name.startswith("ir.pass.") for name in names)
+        for event in events:
+            assert event["ph"] == "X" and event["dur"] >= 0.0
+
+    def test_trace_out_flag_works_after_the_subcommand_too(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["ecdh", "--curve", "T-13", "--batch", "4",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_tracer_is_restored_after_a_traced_run(self, tmp_path):
+        from repro.telemetry import trace
+
+        main(["--trace-out", str(tmp_path / "t.json"), "ecdh", "--curve", "T-13",
+              "--batch", "2"])
+        assert not trace.TRACER.enabled
+
+
+class TestBenchProfile:
+    def test_profile_prints_per_pass_breakdown(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["bench", "-m", "163", "-n", "66", "--backend", "bitslice",
+                     "--profile", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "traced per pass" in out
+        assert "ir.pass.00" in out
+        assert "(outside passes)" in out
+        assert "ladder-step-lanes/s" in out
+
+    def test_profile_requires_an_ir_backend(self):
+        with pytest.raises(SystemExit, match="FieldIR executor"):
+            main(["bench", "-m", "8", "-n", "2", "--backend", "python", "--profile"])
+
+
+class TestDashboardCommand:
+    def _write_fixture(self, tmp_path, latest_rate):
+        import json
+
+        snapshots = [
+            {"bench": "fixture", "commit_pr": 7,
+             "config": {"platform": {"python": "3", "machine": "x"}},
+             "results": [{"backend": "native", "m": 163, "rate": 1000.0}]},
+            {"bench": "fixture", "commit_pr": 8,
+             "config": {"platform": {"python": "3", "machine": "x"}},
+             "results": [{"backend": "native", "m": 163, "rate": latest_rate}]},
+        ]
+        (tmp_path / "BENCH_fixture.json").write_text(json.dumps(snapshots))
+
+    def test_dashboard_renders_markdown_with_flag(self, tmp_path, capsys):
+        self._write_fixture(tmp_path, latest_rate=500.0)
+        assert main(["dashboard", "--dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "# Perf trajectory" in captured.out and "⚠" in captured.out
+        assert "1 regression flag(s)" in captured.err
+
+    def test_dashboard_check_is_warn_only(self, tmp_path, capsys):
+        self._write_fixture(tmp_path, latest_rate=500.0)
+        assert main(["dashboard", "--dir", str(tmp_path), "--check"]) == 0
+        err = capsys.readouterr().err
+        assert "WARN" in err and "-50.0%" in err
+
+    def test_dashboard_tolerance_silences_small_drops(self, tmp_path, capsys):
+        self._write_fixture(tmp_path, latest_rate=900.0)
+        assert main(["dashboard", "--dir", str(tmp_path), "--check",
+                     "--tolerance", "0.2"]) == 0
+        assert "no regressions flagged" in capsys.readouterr().err
+
+    def test_dashboard_html_output_to_file(self, tmp_path, capsys):
+        self._write_fixture(tmp_path, latest_rate=1100.0)
+        out_file = tmp_path / "dash.html"
+        assert main(["dashboard", "--dir", str(tmp_path), "--format", "html",
+                     "--output", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<!DOCTYPE html>")
+
+    def test_dashboard_names_a_malformed_file(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{broken")
+        with pytest.raises(SystemExit, match="BENCH_bad.json"):
+            main(["dashboard", "--dir", str(tmp_path)])
+
+    def test_dashboard_empty_directory_fails_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no BENCH_"):
+            main(["dashboard", "--dir", str(tmp_path)])

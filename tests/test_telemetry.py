@@ -1,0 +1,242 @@
+"""Tests for the telemetry substrate: metrics registry, span tracing, export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import metrics, snapshot_all, trace
+
+
+@pytest.fixture
+def registry():
+    return metrics.MetricsRegistry()
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self, registry):
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.inc("b", 2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 5, "b": 2}
+
+    def test_gauges_last_write_wins(self, registry):
+        registry.gauge("depth", 3.0)
+        registry.gauge("depth", 7.5)
+        assert registry.snapshot()["gauges"] == {"depth": 7.5}
+
+    def test_observations_summarise_count_total_min_max(self, registry):
+        for seconds in (0.5, 0.1, 0.9):
+            registry.observe("op.seconds", seconds)
+        summary = registry.snapshot()["observations"]["op.seconds"]
+        assert summary["count"] == 3
+        assert summary["total_s"] == pytest.approx(1.5)
+        assert summary["min_s"] == pytest.approx(0.1)
+        assert summary["max_s"] == pytest.approx(0.9)
+
+    def test_record_batch_counts_calls_and_elements(self, registry):
+        registry.record_batch("native", "multiply_batch", 256)
+        registry.record_batch("native", "multiply_batch", 128)
+        counters = registry.snapshot()["counters"]
+        assert counters["backend.native.multiply_batch.calls"] == 2
+        assert counters["backend.native.multiply_batch.elements"] == 384
+
+    def test_timed_records_an_observation_and_exposes_seconds(self, registry):
+        with registry.timed("work") as timer:
+            pass
+        assert timer.seconds >= 0.0
+        assert registry.snapshot()["observations"]["work"]["count"] == 1
+
+    def test_merge_adds_counters_and_observations(self, registry):
+        other = metrics.MetricsRegistry()
+        registry.inc("x", 1)
+        registry.observe("t", 0.2)
+        other.inc("x", 2)
+        other.inc("y", 3)
+        other.observe("t", 0.4)
+        other.gauge("g", 9.0)
+        registry.merge(other.snapshot())
+        snap = registry.snapshot()
+        assert snap["counters"] == {"x": 3, "y": 3}
+        assert snap["gauges"] == {"g": 9.0}
+        merged = snap["observations"]["t"]
+        assert merged["count"] == 2
+        assert merged["total_s"] == pytest.approx(0.6)
+        assert merged["min_s"] == pytest.approx(0.2)
+        assert merged["max_s"] == pytest.approx(0.4)
+
+    def test_merge_of_none_and_empty_is_a_no_op(self, registry):
+        registry.inc("x")
+        registry.merge(None)
+        registry.merge({})
+        assert registry.snapshot()["counters"] == {"x": 1}
+
+    def test_reset_clears_everything(self, registry):
+        registry.inc("x")
+        registry.gauge("g", 1.0)
+        registry.observe("t", 0.1)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "observations": {}}
+
+    def test_thread_safety_of_concurrent_increments(self, registry):
+        def hammer():
+            for _ in range(1000):
+                registry.inc("hits")
+                registry.observe("t", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["hits"] == 8000
+        assert snap["observations"]["t"]["count"] == 8000
+
+
+class TestNullRegistry:
+    def test_is_disabled_and_records_nothing(self):
+        null = metrics.NullRegistry()
+        assert null.enabled is False
+        null.inc("x")
+        null.gauge("g", 1.0)
+        null.observe("t", 0.1)
+        null.record_batch("native", "multiply_batch", 64)
+        assert null.snapshot() == {"counters": {}, "gauges": {}, "observations": {}}
+
+    def test_timed_still_measures_elapsed_seconds(self):
+        with metrics.NullRegistry().timed("work") as timer:
+            pass
+        assert timer.seconds >= 0.0
+
+
+class TestRegistrySwitching:
+    def test_set_registry_returns_previous_and_redirects_module_timed(self):
+        local = metrics.MetricsRegistry()
+        previous = metrics.set_registry(local)
+        try:
+            with metrics.timed("swapped"):
+                pass
+            assert "swapped" in local.snapshot()["observations"]
+        finally:
+            metrics.set_registry(previous)
+
+    def test_disable_then_enable_roundtrip(self):
+        previous = metrics.REGISTRY
+        try:
+            metrics.disable()
+            assert not metrics.REGISTRY.enabled
+            live = metrics.enable()
+            assert live.enabled and metrics.REGISTRY is live
+        finally:
+            metrics.set_registry(previous)
+
+    @pytest.mark.parametrize("value,expect_enabled", [
+        ("0", False), ("off", False), ("false", False), ("no", False),
+        ("1", True), ("", True), ("yes", True),
+    ])
+    def test_env_flag_controls_initial_registry(self, monkeypatch, value, expect_enabled):
+        monkeypatch.setenv("GF2M_REPRO_TELEMETRY", value)
+        assert metrics._initial_registry().enabled is expect_enabled
+
+
+class TestTracer:
+    def test_span_records_complete_event_with_args(self):
+        tracer = trace.Tracer()
+        with tracer.span("ladder.step", m=163, backend="native"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "ladder.step"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"m": 163, "backend": "native"}
+
+    def test_null_tracer_is_disabled_and_collects_nothing(self):
+        null = trace.NullTracer()
+        assert null.enabled is False
+        with null.span("anything", key="value"):
+            pass
+        assert null.events() == []
+
+    def test_module_span_respects_installed_tracer(self):
+        tracer = trace.Tracer()
+        previous = trace.set_tracer(tracer)
+        try:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        finally:
+            trace.set_tracer(previous)
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["inner", "outer"]  # recorded on exit, inner first
+
+    def test_chrome_trace_shape(self):
+        tracer = trace.Tracer()
+        with tracer.span("x"):
+            pass
+        document = tracer.chrome_trace()
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 1
+
+    def test_write_chrome_trace_roundtrips_as_json(self, tmp_path):
+        tracer = trace.Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b", n=2):
+            pass
+        path = tmp_path / "trace.json"
+        count = trace.write_chrome_trace(str(path), tracer)
+        assert count == 2
+        document = json.loads(path.read_text())
+        assert {event["name"] for event in document["traceEvents"]} == {"a", "b"}
+
+    def test_write_chrome_trace_with_null_tracer_writes_empty_buffer(self, tmp_path):
+        path = tmp_path / "trace.json"
+        previous = trace.set_tracer(trace.NullTracer())
+        try:
+            assert trace.write_chrome_trace(str(path)) == 0
+        finally:
+            trace.set_tracer(previous)
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+    def test_enable_installs_fresh_collecting_tracer(self):
+        previous = trace.TRACER
+        try:
+            tracer = trace.enable()
+            assert trace.TRACER is tracer and tracer.enabled
+            trace.disable()
+            assert not trace.TRACER.enabled
+        finally:
+            trace.set_tracer(previous)
+
+    def test_aggregate_spans_filters_by_prefix_and_sums(self):
+        events = [
+            {"name": "ir.pass.00.mul", "dur": 1000.0},
+            {"name": "ir.pass.00.mul", "dur": 3000.0},
+            {"name": "ir.pass.01.linear", "dur": 500.0},
+            {"name": "ladder.pack", "dur": 9000.0},
+        ]
+        summary = trace.aggregate_spans(events, prefix="ir.pass.")
+        assert set(summary) == {"ir.pass.00.mul", "ir.pass.01.linear"}
+        assert summary["ir.pass.00.mul"]["count"] == 2
+        assert summary["ir.pass.00.mul"]["total_s"] == pytest.approx(0.004)
+
+
+class TestSnapshotAll:
+    def test_includes_metrics_and_named_caches(self):
+        local = metrics.MetricsRegistry()
+        local.inc("probe", 7)
+        previous = metrics.set_registry(local)
+        try:
+            snapshot = snapshot_all()
+        finally:
+            metrics.set_registry(previous)
+        assert snapshot["metrics"]["counters"]["probe"] == 7
+        # The process has imported the backends by now; the registered
+        # named caches all expose the same hit/miss/eviction shape.
+        assert "multipliers" in snapshot["caches"]
+        for info in snapshot["caches"].values():
+            assert {"hits", "misses", "evictions", "currsize", "maxsize"} <= set(info)
