@@ -25,12 +25,16 @@ import argparse
 import random
 import time
 
+from _harness import rate, write_bench_json
 from repro.curves import curve_by_name, curve_catalog, ecdh_batch, keygen_batch
 from repro.curves.point import BinaryCurve
 from repro.galois.field import GF2mField
 
 #: The acceptance floor for the affine-ladder before/after comparison.
 SPEEDUP_FLOOR = 5.0
+
+#: Stamped into the committed BENCH_curve_ops.json trajectory snapshots.
+COMMIT_PR = 9
 
 #: Scalar widths: full-width B-163 scalars, or short ones for CI smoke runs
 #: (the ladder cost is linear in the width, so the ratio is unaffected).
@@ -152,6 +156,35 @@ def run(quick: bool = False, batch: int = 16):
     }
 
 
+def to_row(result) -> dict:
+    """Flatten one :func:`run` result into a dashboard-friendly series row.
+
+    The perf dashboard treats ``*_per_s``/``*_rate`` and ``speedup*`` keys
+    as metrics, so the field-op timings are emitted as per-second rates and
+    the ratios under ``speedup_*`` names; everything else is identity.
+    """
+    row = {
+        "curve": "B-163",
+        "m": 163,
+        "bits": result["bits"],
+        "batch": result["batch"],
+        "affine_seed_per_s": rate(1, result["affine_seed_s"]),
+        "affine_upgraded_per_s": rate(1, result["affine_fast_s"]),
+        "speedup_affine": result["affine_speedup"],
+        "ld_seed_per_s": rate(1, result["ld_seed_s"]),
+        "ld_upgraded_per_s": rate(1, result["ld_fast_s"]),
+        "speedup_ld": result["ld_speedup"],
+        "speedup_overall": result["overall_speedup"],
+        "batch_rate": result["batch_rate"],
+        "scalar_rate": result["scalar_rate"],
+        "speedup_batch": result["batch_speedup"],
+    }
+    for label, seconds in result["field_ops"]:
+        slug = label.replace(" (", "_").replace(")", "").replace(" ", "_").replace("-", "_")
+        row[f"{slug}_per_s"] = rate(1, seconds)
+    return row
+
+
 def report(result) -> str:
     lines = ["B-163 field operations (per op):"]
     for label, seconds in result["field_ops"]:
@@ -190,10 +223,19 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description="curve scalar-mult before/after the field upgrades")
     parser.add_argument("--quick", action="store_true", help="short scalars, small batch (CI smoke)")
     parser.add_argument("--batch", type=int, default=None, help="ECDH batch size (default 128, quick 48)")
+    parser.add_argument("--json", default=None, metavar="PATH", help="write the machine-readable report here")
     args = parser.parse_args(argv)
     batch = args.batch if args.batch is not None else (48 if args.quick else 128)
     result = run(quick=args.quick, batch=batch)
     print(report(result))
+    if args.json:
+        write_bench_json(
+            args.json,
+            "curve_ops",
+            COMMIT_PR,
+            {"quick": args.quick, "bits": result["bits"], "batch": batch},
+            [to_row(result)],
+        )
     if result["affine_speedup"] < SPEEDUP_FLOOR:
         raise SystemExit(
             f"speedup regression: {result['affine_speedup']:.1f}x < {SPEEDUP_FLOOR:.0f}x "

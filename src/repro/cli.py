@@ -251,6 +251,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", type=int, default=0, metavar="N",
         help="cross-check the first N results against the scalar-ladder reference path",
     )
+    ecdh.add_argument(
+        "--scalar-rep",
+        choices=["auto", "binary", "tau"],
+        default="auto",
+        help="scalar recoding: 'tau' demands the τ-adic Frobenius ladder (Koblitz "
+        "curves only), 'binary' pins the Montgomery ladder, 'auto' (default) picks "
+        "τ exactly when the curve supports it",
+    )
+
+    keygen = subparsers.add_parser(
+        "keygen",
+        parents=[backend_parent, ladder_parent, trace_parent],
+        help="batched key generation workload on one curve (fixed-base comb by default)",
+    )
+    keygen.add_argument("--curve", default="K-163", help="catalog curve name (default K-163; see 'repro curves')")
+    keygen.add_argument("--batch", type=int, default=256, help="key pairs to generate (default 256)")
+    keygen.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
+    keygen.add_argument(
+        "--path",
+        choices=["auto", "comb", "ladder"],
+        default="auto",
+        help="fixed-base route: 'comb' demands the precomputed comb table, 'ladder' "
+        "pins the generic ladders, 'auto' (default) uses the comb when the table "
+        "covers the draw",
+    )
+    keygen.add_argument(
+        "--scalar-rep",
+        choices=["auto", "binary", "tau"],
+        default="auto",
+        help="scalar recoding of the ladder route (see 'repro ecdh --scalar-rep')",
+    )
+    keygen.add_argument(
+        "--check", type=int, default=0, metavar="N",
+        help="cross-check the first N public keys against the scalar-ladder reference path",
+    )
 
     stats = subparsers.add_parser(
         "stats",
@@ -275,7 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--check", action="store_true",
         help="print regression flags to stderr instead of the rendered document; "
-        "warn-only — always exits 0 (the hard CI perf floors remain the gate)",
+        "warn-only by default — exits 0 unless --strict is also given",
+    )
+    dashboard.add_argument(
+        "--strict", action="store_true",
+        help="with --check: exit 1 when any regression is flagged (CI uses this on "
+        "the committed-trajectory job; PR runs stay warn-only)",
     )
     return parser
 
@@ -593,7 +633,7 @@ def _ecdh_shard(payload) -> tuple:
     coordinates; the parent folds every shard's snapshot into the process
     registry.
     """
-    curve_name, backend, plane_resident, privates, peer_coords = payload
+    curve_name, backend, plane_resident, scalar_rep, privates, peer_coords = payload
     curve = curve_by_name(curve_name)
     peers = [curve.point(x, y, check=False) for x, y in peer_coords]
     snapshot = None
@@ -602,28 +642,38 @@ def _ecdh_shard(payload) -> tuple:
         previous = telemetry_metrics.set_registry(local)
         try:
             points = ecdh_batch(
-                curve, privates, peers, backend=backend, plane_resident=plane_resident
+                curve, privates, peers, backend=backend,
+                plane_resident=plane_resident, scalar_rep=scalar_rep,
             )
         finally:
             telemetry_metrics.set_registry(previous)
         snapshot = local.snapshot()
     else:
         points = ecdh_batch(
-            curve, privates, peers, backend=backend, plane_resident=plane_resident
+            curve, privates, peers, backend=backend,
+            plane_resident=plane_resident, scalar_rep=scalar_rep,
         )
     return [(point.x, point.y) for point in points], snapshot
 
 
-def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None, plane_resident=None) -> List:
+def _ecdh_agreements(
+    curve, privates, peers, jobs: int, backend=None, plane_resident=None, scalar_rep="auto"
+) -> List:
     """The batch of shared points, optionally sharded over worker processes."""
     if jobs <= 1 or len(privates) < 2:
-        return ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
+        return ecdh_batch(
+            curve, privates, peers, backend=backend,
+            plane_resident=plane_resident, scalar_rep=scalar_rep,
+        )
     import multiprocessing
     from concurrent.futures import ProcessPoolExecutor
 
     if "fork" not in multiprocessing.get_all_start_methods():
         print("note: no fork start method on this platform; running --jobs 1", file=sys.stderr)
-        return ecdh_batch(curve, privates, peers, backend=backend, plane_resident=plane_resident)
+        return ecdh_batch(
+            curve, privates, peers, backend=backend,
+            plane_resident=plane_resident, scalar_rep=scalar_rep,
+        )
     jobs = min(jobs, len(privates))
     chunk = (len(privates) + jobs - 1) // jobs
     payloads = [
@@ -631,6 +681,7 @@ def _ecdh_agreements(curve, privates, peers, jobs: int, backend=None, plane_resi
             curve.name,
             backend,
             plane_resident,
+            scalar_rep,
             list(privates[start:start + chunk]),
             [(point.x, point.y) for point in peers[start:start + chunk]],
         )
@@ -664,14 +715,20 @@ def _run_ecdh(args) -> int:
             f"executor); {resolved.name!r} has no such capability (use --backend "
             "native or bitslice)"
         )
+    try:
+        resolved_rep = curve._resolve_scalar_rep(args.scalar_rep)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     print(curve.describe())
 
     with telemetry_metrics.timed("cli.ecdh.keygen") as keygen_timer:
         alice = keygen_batch(
-            curve, args.batch, seed=args.seed, backend=args.backend, plane_resident=plane_resident
+            curve, args.batch, seed=args.seed, backend=args.backend,
+            plane_resident=plane_resident, scalar_rep=args.scalar_rep,
         )
         bob = keygen_batch(
-            curve, args.batch, seed=args.seed + 1, backend=args.backend, plane_resident=plane_resident
+            curve, args.batch, seed=args.seed + 1, backend=args.backend,
+            plane_resident=plane_resident, scalar_rep=args.scalar_rep,
         )
     keygen_s = keygen_timer.seconds
 
@@ -685,6 +742,7 @@ def _run_ecdh(args) -> int:
             args.jobs,
             backend=args.backend,
             plane_resident=plane_resident,
+            scalar_rep=args.scalar_rep,
         )
         bob_shared = _ecdh_agreements(
             curve,
@@ -693,6 +751,7 @@ def _run_ecdh(args) -> int:
             args.jobs,
             backend=args.backend,
             plane_resident=plane_resident,
+            scalar_rep=args.scalar_rep,
         )
     agree_s = agree_timer.seconds
 
@@ -714,12 +773,73 @@ def _run_ecdh(args) -> int:
         ladder_label = "per-step ladder"
     else:
         ladder_label = "plane-resident ladder"
+    rep_label = "tau-adic" if resolved_rep == "tau" else "binary"
     print(
-        f"batch {args.batch}, jobs {args.jobs}, backend {backend_label} ({ladder_label}): "
-        f"all {args.batch} shared secrets agree"
+        f"batch {args.batch}, jobs {args.jobs}, backend {backend_label} ({ladder_label}, "
+        f"{rep_label} scalars): all {args.batch} shared secrets agree"
     )
     print(f"  keygen     {2 * args.batch:>6d} ladders in {keygen_s * 1000:>8.1f} ms ({keygen_rate:,.1f} ops/s)")
     print(f"  agreement  {ladders:>6d} ladders in {agree_s * 1000:>8.1f} ms ({agree_rate:,.1f} ops/s)")
+    return 0
+
+
+def _run_keygen(args) -> int:
+    """``repro keygen``: the batched key-generation workload on one curve."""
+    try:
+        curve = curve_by_name(args.curve)
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
+    if args.batch < 1:
+        raise SystemExit("--batch must be at least 1")
+    if args.check < 0:
+        raise SystemExit("--check must be non-negative")
+    resolved = _resolve_cli_backend(curve.field, args.backend)
+    plane_resident = {"auto": None, "planes": True, "steps": False}[args.ladder]
+    if plane_resident and resolved.ir_executor() is None:
+        raise SystemExit(
+            f"--ladder planes needs a plane-resident backend (one with a FieldIR "
+            f"executor); {resolved.name!r} has no such capability (use --backend "
+            "native or bitslice)"
+        )
+    fixed_base = {"auto": None, "comb": True, "ladder": False}[args.path]
+    print(curve.describe())
+    curve.generator  # derive outside the timed region (shared by all paths)
+    try:
+        with telemetry_metrics.timed("cli.keygen") as timer:
+            pairs = keygen_batch(
+                curve,
+                args.batch,
+                seed=args.seed,
+                backend=args.backend,
+                plane_resident=plane_resident,
+                scalar_rep=args.scalar_rep,
+                fixed_base=fixed_base,
+            )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    seconds = timer.seconds
+    if args.check:
+        count = min(args.check, args.batch)
+        for index in range(count):
+            reference = curve.multiply(curve.generator, pairs[index].private)
+            if pairs[index].public != reference:
+                raise SystemExit(f"MISMATCH: batched keypair {index} != scalar-ladder reference")
+        print(f"checked {count} public keys against the scalar-ladder reference: byte-identical")
+    rate = args.batch / seconds if seconds > 0 else float("inf")
+    backend_label = args.backend or default_backend_name(curve.field)
+    path_label = {"auto": "auto (comb when covered)", "comb": "comb", "ladder": "ladder"}[args.path]
+    print(
+        f"batch {args.batch}, backend {backend_label}, path {path_label}: "
+        f"{args.batch} key pairs in {seconds * 1000:.1f} ms ({rate:,.1f} keys/s)"
+    )
+    registry = telemetry_metrics.REGISTRY
+    if registry.enabled:
+        snapshot = registry.snapshot()
+        counters = snapshot.get("counters", {})
+        hits = counters.get("comb.table.hit", 0)
+        builds = counters.get("comb.table.build", 0)
+        if hits or builds:
+            print(f"  comb table: {builds} build(s), {hits} store hit(s)")
     return 0
 
 
@@ -857,15 +977,17 @@ def _run_dashboard(args) -> int:
         raise SystemExit(f"dashboard: {error}") from None
     if args.check:
         if regressions:
+            mode = "strict" if args.strict else "warn-only"
+            flag = "FAIL" if args.strict else "WARN"
             print(
                 f"dashboard: {len(regressions)} regression flag(s) beyond "
-                f"{args.tolerance * 100:.0f}% tolerance (warn-only):",
+                f"{args.tolerance * 100:.0f}% tolerance ({mode}):",
                 file=sys.stderr,
             )
             for regression in regressions:
-                print(f"  WARN {regression.describe()}", file=sys.stderr)
-        else:
-            print("dashboard: no regressions flagged", file=sys.stderr)
+                print(f"  {flag} {regression.describe()}", file=sys.stderr)
+            return 1 if args.strict else 0
+        print("dashboard: no regressions flagged", file=sys.stderr)
         return 0
     if args.output == "-":
         print(document)
@@ -925,6 +1047,9 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
 
     if args.command == "ecdh":
         return _run_ecdh(args)
+
+    if args.command == "keygen":
+        return _run_keygen(args)
 
     if args.command == "stats":
         return _run_stats(args)

@@ -49,6 +49,19 @@ __all__ = [
     "recover_denominator_program",
     "recover_affine_program",
     "on_curve_residual_program",
+    "frobenius_ir",
+    "frobenius_program",
+    "frobenius_add_ir",
+    "frobenius_add_program",
+    "ld_double_ir",
+    "ld_double_program",
+    "mixed_add_ir",
+    "mixed_add_program",
+    "small_multiples_ir",
+    "small_multiples_program",
+    "double_add_ir",
+    "double_add_program",
+    "projective_to_affine_program",
 ]
 
 
@@ -160,6 +173,299 @@ def recover_affine_program(curve: "BinaryCurve") -> FieldProgram:
         y3 = builder.xor(builder.mul(numerator, inv), base_y)
         builder.output("x3", x3)
         builder.output("y3", y3)
+        return schedule_program(builder.build(), field.m, {"square": field.square_map}, key=key)
+
+    return cached_program(key, build)
+
+
+def _ld_mixed_add(builder: IRBuilder, x_p, y_p, z_p, x2, y2):
+    """López-Dahab mixed addition ``(X:Y:Z) + (x2, y2)`` (HMV Alg. 3.26).
+
+    Coordinates follow the LD convention ``x = X/Z``, ``y = Y/Z²``.  Eight
+    products, five squarings; the curve's ``a·Z²`` terms go through the
+    ``mul_a`` constant-multiplier map so one trace serves both Koblitz
+    ``a`` values.  When the two summands share an x-coordinate (doubling
+    or annihilation) the formula yields ``Z3 = 0`` — and a zero ``Z`` is
+    *sticky* through every subsequent step, which is exactly the
+    degenerate-lane flag the batched evaluators key their per-lane scalar
+    fallback on.
+    """
+    z_sq = builder.square(z_p)
+    a_term = builder.xor(builder.mul(y2, z_sq), y_p)
+    b_term = builder.xor(builder.mul(x2, z_p), x_p)
+    c_term = builder.mul(z_p, b_term)
+    d_term = builder.mul(
+        builder.square(b_term),
+        builder.xor(c_term, builder.apply_linear("mul_a", z_sq)),
+    )
+    z3 = builder.square(c_term)
+    e_term = builder.mul(a_term, c_term)
+    x3 = builder.xor(builder.square(a_term), d_term, e_term)
+    f_term = builder.xor(x3, builder.mul(x2, z3))
+    g_term = builder.mul(builder.xor(x2, y2), builder.square(z3))
+    y3 = builder.xor(builder.mul(builder.xor(e_term, z3), f_term), g_term)
+    return x3, y3, z3
+
+
+def _ld_double(builder: IRBuilder, x_p, y_p, z_p):
+    """López-Dahab projective doubling ``2·(X:Y:Z)`` (HMV Alg. 3.25).
+
+    Three products; the ``b·Z⁴`` terms run through the ``mul_b``
+    constant-multiplier map and ``a·Z`` through ``mul_a``.  ``Z = 0``
+    (infinity or the degenerate flag) stays at ``Z = 0``.
+    """
+    x_sq, z_sq = builder.square(x_p), builder.square(z_p)
+    z_d = builder.mul(x_sq, z_sq)
+    b_z4 = builder.apply_linear("mul_b", builder.square(z_sq))
+    x_d = builder.xor(builder.square(x_sq), b_z4)
+    y_d = builder.xor(
+        builder.mul(b_z4, z_d),
+        builder.mul(
+            x_d,
+            builder.xor(builder.apply_linear("mul_a", z_d), builder.square(y_p), b_z4),
+        ),
+    )
+    return x_d, y_d, z_d
+
+
+def _masked_point_update(builder: IRBuilder, fallthrough, added, fresh, init, add):
+    """The shared select cascade of the digit-step formulas.
+
+    Per lane: ``init`` lanes load the gathered table point directly (their
+    accumulator is still the not-yet-started sentinel), ``add`` lanes take
+    the mixed-add result, everyone else keeps the doubled/Frobenius
+    registers.  Emits the three outputs ``Xn Yn Zn``.
+    """
+    one = builder.const(1)
+    (x_f, y_f, z_f), (x_a, y_a, z_a), (x_t, y_t) = fallthrough, added, fresh
+    builder.output("Xn", builder.select(init, x_t, builder.select(add, x_a, x_f)))
+    builder.output("Yn", builder.select(init, y_t, builder.select(add, y_a, y_f)))
+    builder.output("Zn", builder.select(init, one, builder.select(add, z_a, z_f)))
+
+
+def frobenius_ir(power: int = 1) -> FieldIR:
+    """The Frobenius power ``τ^k(X:Y:Z) = (X^2ᵏ, Y^2ᵏ, Z^2ᵏ)`` on LD coords.
+
+    On a Koblitz curve (coefficients in GF(2)) squaring the coordinates is
+    the curve endomorphism the τ-adic ladder rides.  The scheduler's chain
+    collapsing composes the ``power`` squarings into **one** linear map
+    per coordinate, so a whole run of zero τ-NAF digits executes as a
+    single fused linear pass — no products at all — regardless of the run
+    length.
+    """
+    builder = IRBuilder(f"tau_frobenius_{power}")
+    for name in ("X", "Y", "Z"):
+        var = builder.input(name)
+        for _ in range(power):
+            var = builder.square(var)
+        builder.output(name + "n", var)
+    return builder.build()
+
+
+def frobenius_program(curve: "BinaryCurve", power: int = 1) -> FieldProgram:
+    """The scheduled ``power``-fold zero-digit τ step (squarings only)."""
+    field = curve.field
+    key = ("tau-frobenius", field.modulus, power)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            frobenius_ir(power), field.m, {"square": field.square_map}, key=key
+        ),
+    )
+
+
+def frobenius_add_ir(squarings: int = 1) -> FieldIR:
+    """One nonzero τ-NAF digit step: ``τ^squarings``, masked add, selects.
+
+    Inputs ``X Y Z`` are the LD accumulator, ``x2 y2`` the per-lane
+    gathered precomputed multiple (sign already applied); masks ``add``
+    and ``init`` drive the per-lane select cascade.  ``squarings`` folds
+    the zero digits *preceding* this one into the same program — chain
+    collapsing turns them into one composed linear map, so a window
+    recoding's ``(w−1)``-zero runs cost nothing extra.  Lanes whose digit
+    is zero at this position fall through with just the squarings.
+    """
+    builder = IRBuilder(f"tau_frobenius_add_{squarings}")
+    x_p, y_p, z_p = (builder.input(name) for name in ("X", "Y", "Z"))
+    x2, y2 = builder.input("x2"), builder.input("y2")
+    add = builder.mask_input("add")
+    init = builder.mask_input("init")
+    x_f, y_f, z_f = x_p, y_p, z_p
+    for _ in range(squarings):
+        x_f, y_f, z_f = (builder.square(var) for var in (x_f, y_f, z_f))
+    added = _ld_mixed_add(builder, x_f, y_f, z_f, x2, y2)
+    _masked_point_update(builder, (x_f, y_f, z_f), added, (x2, y2), init, add)
+    return builder.build()
+
+
+def frobenius_add_program(curve: "BinaryCurve", squarings: int = 1) -> FieldProgram:
+    """The scheduled nonzero-digit τ step (memoized per modulus, a, run)."""
+    field = curve.field
+    key = ("tau-frobenius-add", field.modulus, curve.a, squarings)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            frobenius_add_ir(squarings),
+            field.m,
+            {"square": field.square_map, "mul_a": field.constant_multiplier(curve.a)},
+            key=key,
+        ),
+    )
+
+
+def ld_double_ir() -> FieldIR:
+    """Plain LD projective doubling ``2·(X:Y:Z)`` (HMV Alg. 3.25)."""
+    builder = IRBuilder("ld_double")
+    x_p, y_p, z_p = (builder.input(name) for name in ("X", "Y", "Z"))
+    doubled = _ld_double(builder, x_p, y_p, z_p)
+    for name, var in zip(("Xn", "Yn", "Zn"), doubled):
+        builder.output(name, var)
+    return builder.build()
+
+
+def ld_double_program(curve: "BinaryCurve") -> FieldProgram:
+    """The scheduled projective doubling (memoized per modulus, a and b)."""
+    field = curve.field
+    key = ("ld-double", field.modulus, curve.a, curve.b)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            ld_double_ir(),
+            field.m,
+            {
+                "square": field.square_map,
+                "mul_a": field.constant_multiplier(curve.a),
+                "mul_b": curve._mul_b,
+            },
+            key=key,
+        ),
+    )
+
+
+def mixed_add_ir() -> FieldIR:
+    """Plain LD mixed addition ``(X:Y:Z) + (x2, y2)`` — no masks.
+
+    The batched evaluators' small-multiple tables are built with this:
+    the running multiple stays projective through the whole add chain and
+    every entry is normalized by one shared batch inversion at the end.
+    Degenerate adds yield the sticky ``Z = 0`` flag as usual.
+    """
+    builder = IRBuilder("ld_mixed_add")
+    x_p, y_p, z_p = (builder.input(name) for name in ("X", "Y", "Z"))
+    x2, y2 = builder.input("x2"), builder.input("y2")
+    added = _ld_mixed_add(builder, x_p, y_p, z_p, x2, y2)
+    for name, var in zip(("Xn", "Yn", "Zn"), added):
+        builder.output(name, var)
+    return builder.build()
+
+
+def mixed_add_program(curve: "BinaryCurve") -> FieldProgram:
+    """The scheduled plain mixed add (memoized per modulus and a)."""
+    field = curve.field
+    key = ("ld-mixed-add", field.modulus, curve.a)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            mixed_add_ir(),
+            field.m,
+            {"square": field.square_map, "mul_a": field.constant_multiplier(curve.a)},
+            key=key,
+        ),
+    )
+
+
+def small_multiples_ir(top: int) -> FieldIR:
+    """The whole chain ``2P … top·P`` from affine ``P`` as one program.
+
+    One trace for the τ evaluator's per-lane table: a doubling from
+    ``(x2, y2, 1)`` followed by ``top − 2`` mixed adds of the base, each
+    intermediate state emitted as ``X<u> Y<u> Z<u>``.  Fusing the chain
+    into a single program lets the scheduler stack the linear work across
+    steps and costs one executor round trip instead of ``top − 1``.
+    """
+    builder = IRBuilder(f"ld_small_multiples_{top}")
+    x2, y2 = builder.input("x2"), builder.input("y2")
+    state = _ld_double(builder, x2, y2, builder.const(1))
+    for u in range(2, top + 1):
+        for name, var in zip((f"X{u}", f"Y{u}", f"Z{u}"), state):
+            builder.output(name, var)
+        if u < top:
+            state = _ld_mixed_add(builder, *state, x2, y2)
+    return builder.build()
+
+
+def small_multiples_program(curve: "BinaryCurve", top: int) -> FieldProgram:
+    """The scheduled small-multiple chain (memoized per modulus, a, b, top)."""
+    field = curve.field
+    key = ("ld-small-multiples", field.modulus, curve.a, curve.b, top)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            small_multiples_ir(top),
+            field.m,
+            {
+                "square": field.square_map,
+                "mul_a": field.constant_multiplier(curve.a),
+                "mul_b": curve._mul_b,
+            },
+            key=key,
+        ),
+    )
+
+
+def double_add_ir() -> FieldIR:
+    """One fixed-base comb column: LD double, masked mixed add, selects.
+
+    The doubling is HMV Alg. 3.25 (three products; the ``b·Z⁴`` terms run
+    through the ``mul_b`` map), the add and select cascade are shared with
+    :func:`frobenius_add_ir`.  Lanes whose comb tooth pattern is zero at
+    this column fall through with just the doubling.
+    """
+    builder = IRBuilder("comb_double_add")
+    x_p, y_p, z_p = (builder.input(name) for name in ("X", "Y", "Z"))
+    x2, y2 = builder.input("x2"), builder.input("y2")
+    add = builder.mask_input("add")
+    init = builder.mask_input("init")
+    x_d, y_d, z_d = _ld_double(builder, x_p, y_p, z_p)
+    added = _ld_mixed_add(builder, x_d, y_d, z_d, x2, y2)
+    _masked_point_update(builder, (x_d, y_d, z_d), added, (x2, y2), init, add)
+    return builder.build()
+
+
+def double_add_program(curve: "BinaryCurve") -> FieldProgram:
+    """The scheduled comb column step (memoized per modulus, a and b)."""
+    field = curve.field
+    key = ("comb-double-add", field.modulus, curve.a, curve.b)
+    return cached_program(
+        key,
+        lambda: schedule_program(
+            double_add_ir(),
+            field.m,
+            {
+                "square": field.square_map,
+                "mul_a": field.constant_multiplier(curve.a),
+                "mul_b": curve._mul_b,
+            },
+            key=key,
+        ),
+    )
+
+
+def projective_to_affine_program(curve: "BinaryCurve") -> FieldProgram:
+    """Affine ``(x3, y3)`` from LD ``(X : Y : Z)`` given ``zi = Z⁻¹``.
+
+    The inversion itself stays outside the IR (the callers feed every live
+    lane's ``Z`` through the backend's Montgomery batch inverse first);
+    this program is the two products and one squaring that remain.
+    """
+    field = curve.field
+    key = ("ld-proj-affine", field.modulus)
+
+    def build() -> FieldProgram:
+        builder = IRBuilder("ld_projective_to_affine")
+        x_p, y_p, zi = builder.input("X"), builder.input("Y"), builder.input("zi")
+        builder.output("x3", builder.mul(x_p, zi))
+        builder.output("y3", builder.mul(y_p, builder.square(zi)))
         return schedule_program(builder.build(), field.m, {"square": field.square_map}, key=key)
 
     return cached_program(key, build)

@@ -90,6 +90,8 @@ def keygen_batch(
     batched: bool = True,
     backend=None,
     plane_resident: Optional[bool] = None,
+    scalar_rep: str = "auto",
+    fixed_base: Optional[bool] = None,
 ) -> List[KeyPair]:
     """Generate ``count`` key pairs, deriving the public points in one batch.
 
@@ -97,7 +99,11 @@ def keygen_batch(
     ``backend`` selects the execution substrate of the batched ladder
     (:mod:`repro.backends`; results are byte-identical across backends) and
     ``plane_resident`` forces or pins its ladder path (see
-    :meth:`~repro.curves.point.BinaryCurve.multiply_batch`).  With
+    :meth:`~repro.curves.point.BinaryCurve.multiply_batch`).  Every
+    public point is a generator multiply, so by default (``fixed_base=
+    None``) the batch evaluates through the precomputed comb table —
+    ``fixed_base=False`` pins the ladders, and ``scalar_rep`` then picks
+    the recoding (``"auto"``: τ-adic on Koblitz curves).  With
     ``batched=False`` each public point is computed by the scalar ladder
     instead — the reference path the batch is checked against.
     """
@@ -110,7 +116,12 @@ def keygen_batch(
     generator = curve.generator
     if batched:
         publics = curve.multiply_batch(
-            [generator] * count, privates, backend=backend, plane_resident=plane_resident
+            [generator] * count,
+            privates,
+            backend=backend,
+            plane_resident=plane_resident,
+            scalar_rep=scalar_rep,
+            fixed_base=fixed_base,
         )
     else:
         publics = [curve.multiply(generator, private) for private in privates]
@@ -132,6 +143,7 @@ def ecdh_batch(
     batched: bool = True,
     backend=None,
     plane_resident: Optional[bool] = None,
+    scalar_rep: str = "auto",
 ) -> List[Point]:
     """Shared points for many independent ``(private, peer)`` pairs.
 
@@ -141,8 +153,11 @@ def ecdh_batch(
     keeps all ladder steps in its packed plane domain; ``plane_resident``
     forces or pins that path (see
     :meth:`~repro.curves.point.BinaryCurve.multiply_batch`).
-    ``batched=False`` is the scalar reference.  All paths return
-    byte-identical points.
+    ``scalar_rep`` picks the scalar recoding: the default ``"auto"``
+    rides the τ-adic Frobenius ladder on Koblitz curves and the binary
+    ladder elsewhere; ``"tau"`` demands τ (raising on non-Koblitz
+    curves), ``"binary"`` pins the ladder.  ``batched=False`` is the
+    scalar reference.  All paths return byte-identical points.
     """
     if len(privates) != len(peer_publics):
         raise ValueError(
@@ -155,7 +170,11 @@ def ecdh_batch(
             raise ValueError("a peer public key is the point at infinity")
     if batched:
         return curve.multiply_batch(
-            list(peer_publics), list(privates), backend=backend, plane_resident=plane_resident
+            list(peer_publics),
+            list(privates),
+            backend=backend,
+            plane_resident=plane_resident,
+            scalar_rep=scalar_rep,
         )
     return [curve.multiply(peer, private) for private, peer in zip(privates, peer_publics)]
 

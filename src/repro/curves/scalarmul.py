@@ -1,0 +1,965 @@
+"""Algorithmic scalar multiplication: τ-adic Frobenius ladders and
+fixed-base combs, compiled through FieldIR.
+
+Every speedup before this module came from the execution substrate — the
+compiled engine, bitsliced planes, the native C tier — while the scalar
+multiplication *algorithm* stayed a generic Montgomery ladder.  This module
+closes the algorithmic gap with two compiled paths, both traced once in
+:mod:`repro.curves.formulas` and lowered through the same
+:class:`~repro.backends.ir.FieldIR` machinery, so they run unchanged on
+every backend (python/engine/bitslice/native):
+
+* **τ-adic ladders** — on a Koblitz curve (``y² + xy = x³ + ax² + 1`` with
+  ``a`` in GF(2)) the Frobenius map ``τ(x, y) = (x², y²)`` is a curve
+  endomorphism satisfying ``τ² = μτ − 2`` with ``μ = (−1)^(1−a)``.  The
+  scalar is partially reduced in ℤ[τ] and recoded into sparse τ-adic
+  digits, replacing the ladder's ~m point doublings with squarings — the
+  op the paper's pentanomial fields execute almost for free as fused
+  linear passes.  The per-digit step is
+  :func:`~repro.curves.formulas.frobenius_add_program` (squarings + one
+  lane-masked mixed add).
+* **fixed-base combs** — generator multiplies (the whole of
+  ``keygen_batch``) use a Lim-Lee comb table of the generator, built
+  lazily, persisted in the content-addressed
+  :class:`~repro.pipeline.store.ArtifactStore` (the table is
+  deterministic per curve), and evaluated with
+  :func:`~repro.curves.formulas.double_add_program` — one LD doubling
+  plus a lane-masked add per comb column instead of a full ladder.
+
+Scalar reduction and recoding
+-----------------------------
+Rational points satisfy ``τ^m = 1`` (the Frobenius of GF(2^m) fixes every
+GF(2^m) point), so scalars act through ℤ[τ]/(τ^m − 1).  The classic
+Solinas reduction divides by ``δ = (τ^m − 1)/(τ − 1)``, which annihilates
+the order-n subgroup only; this module reduces by the full ``τ^m − 1``
+instead, which annihilates **every** rational point — that is what makes
+the τ path byte-identical to :meth:`~repro.curves.point.BinaryCurve
+.multiply_reference` on arbitrary inputs, cofactor components included, at
+the cost of ~2 extra digits (``N(τ^m − 1) = h·n`` vs ``N(δ) = n``).
+
+Two recodings are provided:
+
+* :func:`tau_naf` — width-w τ-NAF (Solinas): odd digits ``|u| < 2^(w−1)``,
+  at most one nonzero in any ``w`` consecutive positions, average density
+  ``1/(w+1)``.  The scalar evaluation path uses it directly.
+* :func:`tau_window_digits` — the batched ladder's recoding: digits are
+  extracted ``w`` τ-positions at a time, so every lane of a batch has its
+  nonzero digits at positions ``≡ 0 (mod w)`` (plus a short unaligned
+  tail).  Alignment is what makes batching pay: at aligned positions the
+  whole batch shares one masked-add step, everywhere else the step is a
+  pure squaring pass.
+
+Degenerate lanes
+----------------
+The mixed-add formula yields ``Z = 0`` when an add degenerates (the
+accumulator meets ``±table point``), and a zero ``Z`` is sticky through
+both step formulas — so a single post-ladder check finds every lane that
+needs the scalar-ladder fallback.  Random scalars hit this with
+probability ~2^(−m); the exhaustive toy-curve tests hit it on purpose.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..backends.ir import execute_program
+from ..pipeline.store import ArtifactStore, LRUCache, canonical_fingerprint
+from ..telemetry import metrics as _metrics
+from ..telemetry import trace as _trace
+from .formulas import (
+    double_add_program,
+    frobenius_add_program,
+    frobenius_program,
+    projective_to_affine_program,
+    small_multiples_program,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Dict, List, Optional, Sequence, Tuple
+
+    from .point import BinaryCurve, Point
+
+__all__ = [
+    "is_koblitz",
+    "tau_mu",
+    "reduce_scalar",
+    "tau_naf",
+    "tau_window_digits",
+    "tau_digits_value",
+    "DEFAULT_TAU_WIDTH",
+    "DEFAULT_COMB_TEETH",
+    "CombTable",
+    "comb_table",
+    "multiply_tau",
+    "multiply_tau_batch",
+    "multiply_comb_batch",
+]
+
+#: Default τ-NAF / window width: 2^(w−1) precomputed multiples per base,
+#: one masked add per w ladder positions.
+DEFAULT_TAU_WIDTH = 4
+
+#: Default comb teeth: 2^t − 1 stored generator combinations, ceil(bits/t)
+#: double+add columns per scalar multiplication.  10 teeth ≈ 17 columns on
+#: K-163 — the 1023-point table is still < 45 KiB serialized, evaluation
+#: drops a fifth of its columns vs 8 teeth, and the build stays a one-off
+#: behind the artifact store.
+DEFAULT_COMB_TEETH = 10
+
+#: Schema stamp of persisted comb tables; bump when the layout changes.
+COMB_TABLE_VERSION = 1
+
+#: Longest zero-digit run folded into one composed squaring map.  Bounds
+#: the per-curve program-cache population; runs beyond it (possible only
+#: for very sparse lanes) split into multiple fallthrough events.
+MAX_FUSED_SQUARINGS = 64
+
+#: In-process memo of deserialized comb tables (the artifact store still
+#: backs cold processes); surfaced by ``repro stats`` like every named cache.
+_COMB_CACHE = LRUCache(maxsize=16, name="curves.comb_tables")
+
+
+# --------------------------------------------------------------- ℤ[τ] algebra
+def is_koblitz(curve: "BinaryCurve") -> bool:
+    """True when ``curve`` carries the Frobenius endomorphism (a, b ∈ GF(2))."""
+    return curve.b == 1 and curve.a in (0, 1)
+
+
+def tau_mu(curve: "BinaryCurve") -> int:
+    """The sign μ in ``τ² = μτ − 2``: +1 for a = 1, −1 for a = 0."""
+    if not is_koblitz(curve):
+        raise ValueError(
+            f"{curve.name or curve!r} is not a Koblitz curve (needs a ∈ GF(2), b = 1); "
+            "the τ-adic ladder has no Frobenius endomorphism to ride"
+        )
+    return 2 * curve.a - 1
+
+
+def _zt_mul(mu: int, x: "Tuple[int, int]", y: "Tuple[int, int]") -> "Tuple[int, int]":
+    """Multiplication in ℤ[τ]: ``(x0 + x1 τ)(y0 + y1 τ)`` with ``τ² = μτ − 2``."""
+    x0, x1 = x
+    y0, y1 = y
+    return (x0 * y0 - 2 * x1 * y1, x0 * y1 + x1 * y0 + mu * x1 * y1)
+
+
+def _zt_norm(mu: int, a: int, b: int) -> int:
+    """The norm ``N(a + bτ) = a² + μab + 2b²`` (always non-negative)."""
+    return a * a + mu * a * b + 2 * b * b
+
+
+def _tau_power_minus_one(mu: int, m: int) -> "Tuple[int, int]":
+    """``τ^m − 1`` as ``(a, b)`` via the recurrence ``τ^(k+1) = −2b + (a+μb)τ``."""
+    a, b = 1, 0
+    for _ in range(m):
+        a, b = -2 * b, a + mu * b
+    return a - 1, b
+
+
+def _round_div(numerator: int, denominator: int) -> int:
+    """Nearest integer to ``numerator / denominator`` (``denominator > 0``)."""
+    return (2 * numerator + denominator) // (2 * denominator)
+
+
+def _div_tau(mu: int, r0: int, r1: int) -> "Tuple[int, int]":
+    """Exact division by τ (``r0`` must be even)."""
+    half = r0 >> 1
+    return r1 + mu * half, -half
+
+
+def _mods(value: int, power: int) -> int:
+    """The balanced residue of ``value`` modulo ``power`` in ``(−power/2, power/2]``."""
+    residue = value % power
+    if residue > power >> 1:
+        residue -= power
+    return residue
+
+
+def _tail_threshold(width: int) -> int:
+    """The residue norm below which width-``width`` extraction may stall.
+
+    One digit round maps ``N ↦ ≤ (√N + 2^(width−1))² / 2^width``, a strict
+    decrease exactly when ``√N (2^(width/2) − 1) > 2^(width−1)``.  Below
+    the squared bound the balanced-digit subtraction can cycle (width 6
+    loops forever on the residue of ``2``, for instance), so extraction
+    must hand over to the plain τ-NAF tail — which terminates from every
+    state (verified exhaustively over ``|r0|, |r1| ≤ 2000``, max 26
+    steps) — no later than this norm.
+    """
+    half = 1 << (width - 1)
+    shrink = 2.0 ** (width / 2.0) - 1.0
+    return max(7, math.ceil((half / shrink) ** 2))
+
+
+def _t_width(mu: int, width: int) -> int:
+    """The even root of ``t² − μt + 2 ≡ 0 (mod 2^width)``, lifted bit by bit.
+
+    ``τ ↦ t`` realises the ring isomorphism ℤ[τ]/τ^w ≅ ℤ/2^w that digit
+    extraction leans on: ``τ^w`` divides ``ρ − u`` exactly when ``2^w``
+    divides ``r0 + r1·t − u``.
+    """
+    t = 0
+    for bit in range(1, width + 1):
+        if (t * t - mu * t + 2) % (1 << bit):
+            t += 1 << (bit - 1)
+    return t
+
+
+class _TauContext:
+    """Per-curve τ-adic constants: μ, ``τ^m − 1``, its norm, and t_w memos."""
+
+    __slots__ = ("mu", "m", "d", "conj", "norm", "_t_widths", "_div_consts")
+
+    def __init__(self, curve: "BinaryCurve") -> None:
+        self.mu = tau_mu(curve)
+        self.m = curve.field.m
+        self.d = _tau_power_minus_one(self.mu, self.m)
+        d0, d1 = self.d
+        self.conj = (d0 + self.mu * d1, -d1)
+        self.norm = _zt_norm(self.mu, d0, d1)
+        self._t_widths: "Dict[int, int]" = {}
+        self._div_consts: "Dict[int, Tuple[int, int, int]]" = {}
+
+    def t_width(self, width: int) -> int:
+        value = self._t_widths.get(width)
+        if value is None:
+            value = self._t_widths[width] = _t_width(self.mu, width)
+        return value
+
+    def div_constants(self, width: int) -> "Tuple[int, int, int]":
+        """Constants ``(e0, e1, f)`` folding division by ``τ^width``.
+
+        With ``e0 + e1 τ = conj(τ^width)`` and ``N(τ^width) = 2^width``,
+        an exact quotient ``ρ / τ^width`` is ``ρ · conj(τ^width) >> width``
+        componentwise — one shift instead of ``width`` τ-division rounds.
+        ``f = e0 + μ e1`` pre-folds the τ²-reduction cross term.
+        """
+        value = self._div_consts.get(width)
+        if value is None:
+            a, b = 1, 0
+            for _ in range(width):
+                a, b = -2 * b, a + self.mu * b
+            e0, e1 = a + self.mu * b, -b
+            value = self._div_consts[width] = (e0, e1, e0 + self.mu * e1)
+        return value
+
+
+_TAU_CONTEXTS = LRUCache(maxsize=16, name="curves.tau_contexts")
+
+
+def _tau_context(curve: "BinaryCurve") -> _TauContext:
+    key = (curve.field.modulus, curve.a, curve.b)
+    return _TAU_CONTEXTS.get_or_create(key, lambda: _TauContext(curve))  # type: ignore[return-value]
+
+
+def reduce_scalar(curve: "BinaryCurve", scalar: int) -> "Tuple[int, int]":
+    """``scalar`` partially reduced modulo ``τ^m − 1`` in ℤ[τ].
+
+    Returns ``(r0, r1)`` with ``r0 + r1 τ ≡ scalar (mod τ^m − 1)`` and
+    ``N(r0 + r1 τ) ≤ N(τ^m − 1) ≈ h·n`` — so the recoded expansion has
+    ~m + 2 digits regardless of the scalar's width.  Because ``τ^m`` acts
+    as the identity on every GF(2^m)-rational point, the reduced element
+    computes exactly ``scalar · P`` for **every** curve point (no
+    subgroup-membership assumption, unlike reduction by
+    ``δ = (τ^m − 1)/(τ − 1)``).
+    """
+    ctx = _tau_context(curve)
+    n0, n1 = _zt_mul(ctx.mu, (scalar, 0), ctx.conj)
+    q = (_round_div(n0, ctx.norm), _round_div(n1, ctx.norm))
+    p0, p1 = _zt_mul(ctx.mu, q, ctx.d)
+    return scalar - p0, -p1
+
+
+def tau_naf(curve: "BinaryCurve", scalar: int, width: int = DEFAULT_TAU_WIDTH) -> "List[int]":
+    """The width-w τ-NAF digits of ``scalar`` on ``curve``, lowest first.
+
+    Digits are zero or odd with ``|u| < 2^(width−1)``, with at most one
+    nonzero in any ``width`` consecutive positions — average density
+    ``1/(width+1)`` — except in the constant-size tail, which drops to
+    the plain width-2 τ-NAF once the residue norm falls under
+    :func:`_tail_threshold` (wider windows stop contracting there).
+    Evaluating ``Σ uᵢ τ^i`` on any rational point yields exactly
+    ``scalar · P`` (the expansion encodes the :func:`reduce_scalar`
+    residue).
+    """
+    if width < 2 or width > 16:
+        raise ValueError(f"τ-NAF width must be in [2, 16], got {width}")
+    ctx = _tau_context(curve)
+    mu = ctx.mu
+    t_w = ctx.t_width(width)
+    power = 1 << width
+    threshold = _tail_threshold(width)
+    gate = math.isqrt(2 * threshold) + 1
+    r0, r1 = reduce_scalar(curve, scalar)
+    digits: "List[int]" = []
+    while r0 or r1:
+        # Wide windows stall (or cycle) once the residue norm drops under
+        # the width's threshold — finish with the plain τ-NAF there.
+        if (
+            power > 4
+            and -gate <= r0 <= gate
+            and -gate <= r1 <= gate
+            and r0 * r0 + mu * r0 * r1 + 2 * r1 * r1 <= threshold
+        ):
+            t_w, power = ctx.t_width(2), 4
+        if r0 & 1:
+            u = _mods(r0 + r1 * t_w, power)
+            digits.append(u)
+            r0 -= u
+        else:
+            digits.append(0)
+        r0, r1 = _div_tau(mu, r0, r1)
+    return digits
+
+
+def tau_window_digits(
+    curve: "BinaryCurve", scalar: int, width: int = DEFAULT_TAU_WIDTH
+) -> "List[int]":
+    """Batch-aligned τ-adic digits of ``scalar``, lowest first.
+
+    Digits (``|u| ≤ 2^(width−1)``, even values allowed) are extracted a
+    whole window at a time, so nonzeros land only at positions
+    ``≡ 0 (mod width)`` — every lane of a batch shares one masked-add
+    schedule.  Window extraction is a strict norm contraction only while
+    the residue norm exceeds :func:`_tail_threshold`; the constant-size
+    remainder drains through the plain τ-NAF (±1 digits at unaligned
+    trailing positions, guaranteed to terminate).
+    """
+    if width < 2 or width > 16:
+        raise ValueError(f"window width must be in [2, 16], got {width}")
+    events, span = _tau_sparse_digits(curve, scalar, width)
+    digits = [0] * span
+    for position, digit in events:
+        digits[position] = digit
+    return digits
+
+
+def _tau_sparse_digits(
+    curve: "BinaryCurve", scalar: int, width: int = DEFAULT_TAU_WIDTH
+) -> "Tuple[List[Tuple[int, int]], int]":
+    """:func:`tau_window_digits` as sparse ``(position, digit)`` events.
+
+    Returns ``(events, span)`` with events ordered lowest position first
+    and ``span`` the dense digit count (highest position + 1).  The
+    batched evaluator consumes this directly — zero runs never
+    materialise, they fold into the next event's composed squaring map.
+    """
+    ctx = _tau_context(curve)
+    mu = ctx.mu
+    t_w = ctx.t_width(width)
+    e0, e1, f = ctx.div_constants(width)
+    power = 1 << width
+    half = power >> 1
+    mask = power - 1
+    threshold = _tail_threshold(width)
+    gate = math.isqrt(2 * threshold) + 1
+    r0, r1 = reduce_scalar(curve, scalar)
+    events: "List[Tuple[int, int]]" = []
+    position = 0
+    while True:
+        # Magnitude gate before the exact norm: the tail region forces
+        # ``|a|, |b| ≤ √(2·threshold)``, so large residues skip the three
+        # norm multiplications entirely.
+        if (
+            -gate <= r0 <= gate
+            and -gate <= r1 <= gate
+            and r0 * r0 + mu * r0 * r1 + 2 * r1 * r1 <= threshold
+        ):
+            break
+        # Only the window's low bits matter: u ≡ r0 + r1·t_w (mod 2^w)
+        # computed on masked small ints, not full-width bigints.
+        u = ((r0 & mask) + (r1 & mask) * t_w) & mask
+        if u > half:
+            u -= power
+        if u:
+            events.append((position, u))
+            r0 -= u
+        # ρ − u is divisible by τ^width: divide in one folded step via
+        # conj(τ^width) and an exact arithmetic shift (N(τ^width) = 2^width).
+        r0, r1 = (r0 * e0 - 2 * r1 * e1) >> width, (r0 * e1 + r1 * f) >> width
+        position += width
+    # Below the threshold the window recurrence no longer shrinks the
+    # norm (see _tail_threshold), so the constant-size remainder drains
+    # through the plain τ-NAF: ±1 digits at unaligned trailing positions,
+    # terminating from every state.
+    t_2 = ctx.t_width(2)
+    while r0 or r1:
+        if r0 & 1:
+            u = _mods(r0 + r1 * t_2, 4)
+            events.append((position, u))
+            r0 -= u
+        r0, r1 = _div_tau(mu, r0, r1)
+        position += 1
+    return events, (events[-1][0] + 1) if events else 0
+
+
+def tau_digits_value(curve: "BinaryCurve", digits: "Sequence[int]") -> "Tuple[int, int]":
+    """``Σ digits[i] · τ^i`` back in ℤ[τ] — the recoding tests' round trip."""
+    mu = tau_mu(curve)
+    r0, r1 = 0, 0
+    for digit in reversed(digits):
+        # Horner: (r0 + r1 τ) · τ + digit.
+        r0, r1 = -2 * r1 + digit, r0 + mu * r1
+    return r0, r1
+
+
+# ----------------------------------------------------------- shared plumbing
+def _resolve_executor(backend, plane_resident: "Optional[bool]"):
+    """The backend's FieldIR executor per the ``plane_resident`` contract."""
+    if plane_resident is False:
+        return None
+    executor = backend.ir_executor()
+    if executor is None and plane_resident:
+        raise ValueError(
+            f"backend {backend.name!r} has no plane-resident IR executor; "
+            "use the 'bitslice' or 'native' backend or plane_resident=False"
+        )
+    return executor
+
+
+def _run_program_chunked(backend, program, inputs: "Dict[str, List[int]]"):
+    """Run a mask-less FieldProgram on int lists, compiled where possible.
+
+    IR-capable backends get the compiled lowering, chunked at the
+    executor's lane width (pack → run → unpack per chunk); everything
+    else interprets the same program via :func:`execute_program`.
+    """
+    executor = backend.ir_executor()
+    if executor is None:
+        return execute_program(program, backend, inputs)
+    columns = [inputs[name] for name, _ in program.ir.inputs]
+    out_names = [name for name, _ in program.ir.outputs]
+    count = len(columns[0])
+    chunk = executor.chunk_size
+    compiled = executor.compile(program)
+    outputs: "Dict[str, List[int]]" = {name: [] for name in out_names}
+    unpack = executor.unpack
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        lanes = stop - start
+        arrays = compiled.run_arrays(
+            tuple(executor.pack(column[start:stop]).array for column in columns), ()
+        )
+        for name, array in zip(out_names, arrays):
+            outputs[name] += unpack(executor.vector(array, lanes))
+    return outputs
+
+
+def _small_multiples_batch(curve, backend, base_x, base_y, top):
+    """Per-lane multiples ``u·P`` for ``u = 1..top``, built projectively.
+
+    The add chain ``2P, 3P, …`` runs through the compiled LD doubling /
+    mixed-add formulas — no inversions anywhere in the chain — and every
+    entry is normalized to affine by **one** shared Montgomery batch
+    inversion at the end.  Returns ``(tables, degenerate)``:
+    ``tables[u]`` the affine coordinate lists of ``u · P_lane`` (zeros on
+    dead lanes) and ``degenerate`` the lanes whose chain hit the sticky
+    ``Z = 0`` flag (tiny point orders) and must take the scalar fallback.
+    """
+    count = len(base_x)
+    tables: "Dict[int, Tuple[List[int], List[int]]]" = {1: (list(base_x), list(base_y))}
+    if top < 2:
+        return tables, set()
+    program = small_multiples_program(curve, top)
+    chain = _run_program_chunked(
+        backend, program, {"x2": base_x, "y2": base_y}
+    )
+    degenerate = {
+        lane
+        for u in range(2, top + 1)
+        for lane in range(count)
+        if chain[f"Z{u}"][lane] == 0
+    }
+    flat_x: "List[int]" = []
+    flat_y: "List[int]" = []
+    flat_z: "List[int]" = []
+    slots: "List[Tuple[int, int]]" = []
+    for u in range(2, top + 1):
+        tables[u] = ([0] * count, [0] * count)
+        xs, ys, zs = chain[f"X{u}"], chain[f"Y{u}"], chain[f"Z{u}"]
+        for lane in range(count):
+            if lane not in degenerate:
+                slots.append((u, lane))
+                flat_x.append(xs[lane])
+                flat_y.append(ys[lane])
+                flat_z.append(zs[lane])
+    if slots:
+        with _trace.span("scalarmul.table_inverse", count=len(slots)):
+            inverses = backend.inverse_batch(flat_z)
+        affine = _run_program_chunked(
+            backend,
+            projective_to_affine_program(curve),
+            {"X": flat_x, "Y": flat_y, "zi": inverses},
+        )
+        for (u, lane), x3, y3 in zip(slots, affine["x3"], affine["y3"]):
+            tables[u][0][lane] = x3
+            tables[u][1][lane] = y3
+    return tables, degenerate
+
+
+def _finalize_projective(curve, backend, x_acc, y_acc, z_acc):
+    """Affine points from LD accumulators; ``None`` marks fallback lanes.
+
+    A zero ``Z`` is the sticky degenerate/never-started flag — those lanes
+    (plus any the caller already marked) are returned as ``None`` for the
+    per-lane scalar-ladder fallback.  Live lanes share one Montgomery
+    batch inversion and one compiled conversion formula.
+    """
+    from .point import Point
+
+    count = len(z_acc)
+    live = [index for index in range(count) if z_acc[index] != 0]
+    points: "List[Optional[Point]]" = [None] * count
+    if live:
+        with _trace.span("scalarmul.inverse_batch", count=len(live)):
+            inverses = backend.inverse_batch([z_acc[i] for i in live])
+        affine = _run_program_chunked(
+            backend,
+            projective_to_affine_program(curve),
+            {
+                "X": [x_acc[i] for i in live],
+                "Y": [y_acc[i] for i in live],
+                "zi": inverses,
+            },
+        )
+        for slot, index in enumerate(live):
+            points[index] = Point(curve, affine["x3"][slot], affine["y3"][slot])
+    return points
+
+
+def _run_masked_steps(
+    curve,
+    backend,
+    plane_resident,
+    count,
+    rows_for,
+    *,
+    program_for,
+    span_prefix,
+):
+    """Drive a digit/column schedule through the compiled step formulas.
+
+    ``rows_for(start, stop)`` yields, highest position first, one
+    ``(key, row)`` event per step for the lane slice ``[start, stop)``:
+    ``row`` is either ``None`` for a fallthrough-only event (a whole run
+    of zero digits / a plain doubling, no gathered inputs) or slice-width
+    ``(x2, y2, add_bits, init_bits)`` lists.  ``program_for(key,
+    has_add)`` supplies the :class:`~repro.backends.ir.FieldProgram` of
+    an event class — the τ evaluator keys on the folded squaring count,
+    the comb evaluator has a single class.  Every lane starts from the
+    not-yet-started LD sentinel ``(1, 1, 0)``.  Runs plane/word-resident
+    on IR-capable backends — chunked at the executor's lane width, each
+    chunk packing once, stepping per event and unpacking once — and
+    interprets the same programs everywhere else.  Returns the final
+    accumulator triple as int lists.
+    """
+    executor = _resolve_executor(backend, plane_resident)
+    tracer = _trace.TRACER
+    if executor is None:
+        state = {"X": [1] * count, "Y": [1] * count, "Z": [0] * count}
+        for key, row in rows_for(0, count):
+            if row is None:
+                out = execute_program(program_for(key, False), backend, state)
+            else:
+                x2, y2, add_bits, init_bits = row
+                out = execute_program(
+                    program_for(key, True),
+                    backend,
+                    {**state, "x2": x2, "y2": y2},
+                    {"add": add_bits, "init": init_bits},
+                )
+            state = {"X": out["Xn"], "Y": out["Yn"], "Z": out["Zn"]}
+        return state["X"], state["Y"], state["Z"]
+    compiled: "Dict[Tuple[object, bool], object]" = {}
+
+    def compile_for(key, has_add):
+        entry = compiled.get((key, has_add))
+        if entry is None:
+            entry = compiled[(key, has_add)] = executor.compile(program_for(key, has_add))
+        return entry
+
+    chunk = executor.chunk_size
+    x_out: "List[int]" = []
+    y_out: "List[int]" = []
+    z_out: "List[int]" = []
+    for start in range(0, count, chunk):
+        lanes = min(chunk, count - start)
+        with tracer.span(f"{span_prefix}.pack", lanes=lanes):
+            x_arr = executor.pack([1] * lanes).array
+            y_arr = executor.pack([1] * lanes).array
+            z_arr = executor.pack([0] * lanes).array
+        for key, row in rows_for(start, start + lanes):
+            with tracer.span(f"{span_prefix}.step"):
+                if row is None:
+                    x_arr, y_arr, z_arr = compile_for(key, False).run_arrays(
+                        (x_arr, y_arr, z_arr), ()
+                    )
+                else:
+                    x2, y2, add_bits, init_bits = row
+                    x_arr, y_arr, z_arr = compile_for(key, True).run_arrays(
+                        (
+                            x_arr,
+                            y_arr,
+                            z_arr,
+                            executor.pack(x2).array,
+                            executor.pack(y2).array,
+                        ),
+                        (
+                            executor.broadcast_bits(add_bits),
+                            executor.broadcast_bits(init_bits),
+                        ),
+                    )
+        with tracer.span(f"{span_prefix}.unpack", lanes=lanes):
+            unpack = executor.unpack
+            x_out += unpack(executor.vector(x_arr, lanes))
+            y_out += unpack(executor.vector(y_arr, lanes))
+            z_out += unpack(executor.vector(z_arr, lanes))
+    return x_out, y_out, z_out
+
+
+# ------------------------------------------------------------- τ-adic ladder
+def multiply_tau(
+    curve: "BinaryCurve",
+    point: "Point",
+    scalar: int,
+    width: int = DEFAULT_TAU_WIDTH,
+) -> "Point":
+    """Scalar τ-NAF multiplication on affine points (the unbatched path).
+
+    The caller (``BinaryCurve.multiply``) has already screened negatives,
+    zero scalars, infinity and the order-two point.  Evaluation is the
+    plain Horner scheme over :func:`tau_naf` digits with the field's
+    squaring map as τ — byte-identical to the binary ladder by group
+    arithmetic.
+    """
+    from .point import Point
+
+    field = curve.field
+    digits = tau_naf(curve, scalar, width)
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        registry.inc("ladder.tau.digits", len(digits))
+    table: "Dict[int, Point]" = {1: point}
+    if any(abs(digit) > 1 for digit in digits):
+        double = curve.double(point)
+        for u in range(3, 1 << (width - 1), 2):
+            table[u] = curve.add(table[u - 2], double)
+    result = curve.infinity()
+    square = field.square
+    for digit in reversed(digits):
+        if not result.is_infinity:
+            result = Point(curve, square(result.x), square(result.y))
+        if digit:
+            entry = table[abs(digit)]
+            result = curve.add(result, entry if digit > 0 else curve.negate(entry))
+    return result
+
+
+def multiply_tau_batch(
+    curve: "BinaryCurve",
+    base_x: "List[int]",
+    base_y: "List[int]",
+    scalars: "List[int]",
+    *,
+    backend,
+    plane_resident: "Optional[bool]" = None,
+    width: int = DEFAULT_TAU_WIDTH,
+) -> "List[Point]":
+    """Batched τ-adic ladder over independent ``(point, scalar)`` lanes.
+
+    Per-lane sparse window recodings (:func:`tau_window_digits` events)
+    share one masked-add schedule (their nonzeros are window-aligned);
+    the per-lane small-multiple tables come from one fused
+    :func:`~repro.curves.formulas.small_multiples_program` chain plus a
+    shared Montgomery batch inversion.  Every scheduled event runs the
+    compiled
+    :func:`~repro.curves.formulas.frobenius_program` (squarings only) or
+    :func:`~repro.curves.formulas.frobenius_add_program` (squarings plus
+    the lane-masked add).  Lanes that finish with the sticky ``Z = 0``
+    flag — degenerate adds or annihilated scalars — take the scalar
+    ladder per lane; the result is byte-identical to the binary paths.
+    """
+    count = len(base_x)
+    lane_events: "List[Dict[int, int]]" = []
+    span_total = 0
+    for scalar in scalars:
+        events, span = _tau_sparse_digits(curve, scalar, width)
+        lane_events.append(dict(events))
+        span_total += span
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        registry.inc("ladder.tau.digits", span_total)
+    top = 1 << (width - 1)
+    tables, degenerate = _small_multiples_batch(curve, backend, base_x, base_y, top)
+    for lane in degenerate:
+        lane_events[lane] = {}
+
+    def rows_for(start, stop):
+        # Runs of zero digits fold into the following add event (or a
+        # trailing pure-Frobenius event): τ^k is one composed linear map,
+        # so an event costs the same whatever k — the call count drops to
+        # the number of positions where *some* lane has a nonzero digit.
+        # Events are indexed sparsely by position up front, so each step
+        # touches only the lanes that actually add (~1/width of the slice)
+        # instead of scanning the whole slice per position.
+        slots = stop - start
+        started = [False] * slots
+        by_position: "Dict[int, List[Tuple[int, int]]]" = {}
+        for slot in range(slots):
+            for position, digit in lane_events[start + slot].items():
+                by_position.setdefault(position, []).append((slot, digit))
+        previous: "Optional[int]" = None
+        for position in sorted(by_position, reverse=True):
+            squarings = 1 if previous is None else previous - position
+            previous = position
+            while squarings > MAX_FUSED_SQUARINGS:
+                yield MAX_FUSED_SQUARINGS, None
+                squarings -= MAX_FUSED_SQUARINGS
+            x2 = [0] * slots
+            y2 = [0] * slots
+            add_bits = [0] * slots
+            init_bits = [0] * slots
+            for slot, digit in by_position[position]:
+                xs, ys = tables[digit if digit > 0 else -digit]
+                x = xs[start + slot]
+                y = ys[start + slot]
+                if digit < 0:
+                    y ^= x  # −(x, y) = (x, x + y) on a binary curve
+                x2[slot] = x
+                y2[slot] = y
+                if started[slot]:
+                    add_bits[slot] = 1
+                else:
+                    init_bits[slot] = 1
+                    started[slot] = True
+            yield squarings, (x2, y2, add_bits, init_bits)
+        pending = previous if previous else 0
+        while pending > 0:
+            squarings = min(pending, MAX_FUSED_SQUARINGS)
+            yield squarings, None
+            pending -= squarings
+
+    def program_for(squarings, has_add):
+        if has_add:
+            return frobenius_add_program(curve, squarings)
+        return frobenius_program(curve, squarings)
+
+    x_acc, y_acc, z_acc = _run_masked_steps(
+        curve,
+        backend,
+        plane_resident,
+        count,
+        rows_for,
+        program_for=program_for,
+        span_prefix="ladder.tau",
+    )
+    for lane in degenerate:
+        z_acc[lane] = 0
+    points = _finalize_projective(curve, backend, x_acc, y_acc, z_acc)
+    from .point import Point
+
+    for index in range(count):
+        if points[index] is None:
+            points[index] = curve.multiply(
+                Point(curve, base_x[index], base_y[index]), scalars[index]
+            )
+            if registry.enabled:
+                registry.inc("ladder.tau.fallbacks")
+    return points  # type: ignore[return-value]
+
+
+# ------------------------------------------------------------ fixed-base comb
+class CombTable:
+    """A Lim-Lee comb table for one curve's generator.
+
+    ``points[pattern]`` (1-indexed; pattern ``Σ bⱼ 2^j``) holds the affine
+    coordinates of ``Σ bⱼ · 2^(j·columns) · G``.  ``columns`` is the comb
+    evaluation depth: scalars up to ``2^(teeth·columns)`` are covered,
+    which includes every private key the protocols draw.
+    """
+
+    __slots__ = ("teeth", "columns", "points")
+
+    def __init__(self, teeth: int, columns: int, points: "List[Tuple[int, int]]") -> None:
+        self.teeth = teeth
+        self.columns = columns
+        self.points = points
+
+    @property
+    def capacity_bits(self) -> int:
+        """Scalars below ``2^capacity_bits`` evaluate in one comb pass."""
+        return self.teeth * self.columns
+
+
+def _comb_fingerprint(curve: "BinaryCurve", teeth: int, columns: int) -> str:
+    """The content address of one curve's comb table in the artifact store."""
+    return canonical_fingerprint(
+        {
+            "kind": "comb-table",
+            "version": COMB_TABLE_VERSION,
+            "modulus": curve.field.modulus,
+            "a": curve.a,
+            "b": curve.b,
+            "generator": [curve.generator.x, curve.generator.y],
+            "teeth": teeth,
+            "columns": columns,
+        }
+    )
+
+
+def _build_comb_points(
+    curve: "BinaryCurve", teeth: int, columns: int
+) -> "List[Tuple[int, int]]":
+    """All ``2^teeth − 1`` tooth combinations of the generator, affine.
+
+    Pure affine group law — exact, deterministic, and cheap next to the
+    ladders it replaces (``teeth`` strided doublings plus one add per
+    combination).
+    """
+    strides = [curve.generator]
+    for _ in range(1, teeth):
+        point = strides[-1]
+        for _ in range(columns):
+            point = curve.double(point)
+        strides.append(point)
+    points: "List[Tuple[int, int]]" = []
+    for pattern in range(1, 1 << teeth):
+        total = curve.infinity()
+        for tooth in range(teeth):
+            if (pattern >> tooth) & 1:
+                total = curve.add(total, strides[tooth])
+        if total.is_infinity:  # pragma: no cover - needs a tiny-order generator
+            raise ArithmeticError(
+                f"comb tooth pattern {pattern} of {curve.name or curve!r} collapsed "
+                "to infinity; lower the teeth count for this curve"
+            )
+        points.append((total.x, total.y))
+    return points
+
+
+def comb_table(
+    curve: "BinaryCurve",
+    *,
+    teeth: int = DEFAULT_COMB_TEETH,
+    store: "Optional[ArtifactStore]" = None,
+) -> CombTable:
+    """The (lazily built, artifact-store-persisted) comb table of ``curve``.
+
+    Tables are deterministic per curve, so they live in the
+    content-addressed store keyed by the curve constants and comb shape:
+    warm processes hit the in-memory LRU, warm machines hit the store
+    (``comb.table.hit``), and only cold caches pay the build
+    (``comb.table.build``).
+    """
+    if teeth < 2 or teeth > 10:
+        raise ValueError(f"comb teeth must be in [2, 10], got {teeth}")
+    bound = curve.order if curve.order is not None else curve.field.order
+    bits = max(bound.bit_length(), 1)
+    columns = -(-bits // teeth)
+    key = _comb_fingerprint(curve, teeth, columns)
+
+    def load() -> CombTable:
+        backing = store if store is not None else ArtifactStore()
+        registry = _metrics.REGISTRY
+        payload = backing.get_json(key)
+        if payload is not None:
+            if registry.enabled:
+                registry.inc("comb.table.hit")
+            points = [(int(x), int(y)) for x, y in payload["points"]]
+            return CombTable(teeth, columns, points)
+        if registry.enabled:
+            registry.inc("comb.table.build")
+        with _metrics.timed("comb.table.build_s"), _trace.span(
+            "comb.table.build", curve=curve.name or "?", teeth=teeth
+        ):
+            points = _build_comb_points(curve, teeth, columns)
+        backing.put_json(
+            key,
+            {
+                "version": COMB_TABLE_VERSION,
+                "curve": curve.name,
+                "teeth": teeth,
+                "columns": columns,
+                "points": [[x, y] for x, y in points],
+            },
+        )
+        return CombTable(teeth, columns, points)
+
+    return _COMB_CACHE.get_or_create(key, load)  # type: ignore[return-value]
+
+
+def multiply_comb_batch(
+    curve: "BinaryCurve",
+    scalars: "List[int]",
+    *,
+    backend,
+    plane_resident: "Optional[bool]" = None,
+    teeth: int = DEFAULT_COMB_TEETH,
+    store: "Optional[ArtifactStore]" = None,
+) -> "List[Point]":
+    """Batched fixed-base multiplication ``scalar · G`` via the comb table.
+
+    One :func:`~repro.curves.formulas.double_add_program` step per comb
+    column — an LD doubling plus a lane-masked table add — instead of a
+    full ladder; the table rows are gathered per lane and per column from
+    :func:`comb_table`.  Scalars must lie in ``[1, 2^capacity_bits)``
+    (the protocol layer's draws always do; ``BinaryCurve.multiply_batch``
+    routes anything else through the generic paths).
+    """
+    table = comb_table(curve, teeth=teeth, store=store)
+    count = len(scalars)
+    columns, width = table.columns, table.teeth
+    registry = _metrics.REGISTRY
+    if registry.enabled:
+        registry.inc("comb.columns", columns * count)
+
+    def rows_for(start, stop):
+        slots = stop - start
+        started = [False] * slots
+        # One pass over each scalar's *set* bits fills every column's
+        # tooth pattern — bit index ``tooth·columns + column`` lands in
+        # ``patterns[column]`` — instead of teeth·columns shift/mask
+        # probes per lane.
+        lane_patterns: "List[List[int]]" = []
+        for slot in range(slots):
+            scalar = scalars[start + slot]
+            patterns = [0] * columns
+            while scalar:
+                index = (scalar & -scalar).bit_length() - 1
+                scalar &= scalar - 1
+                patterns[index % columns] |= 1 << (index // columns)
+            lane_patterns.append(patterns)
+        for column in range(columns - 1, -1, -1):
+            x2 = [0] * slots
+            y2 = [0] * slots
+            add_bits = [0] * slots
+            init_bits = [0] * slots
+            for slot in range(slots):
+                pattern = lane_patterns[slot][column]
+                if not pattern:
+                    continue
+                x2[slot], y2[slot] = table.points[pattern - 1]
+                if started[slot]:
+                    add_bits[slot] = 1
+                else:
+                    init_bits[slot] = 1
+                    started[slot] = True
+            yield 0, (x2, y2, add_bits, init_bits)
+
+    x_acc, y_acc, z_acc = _run_masked_steps(
+        curve,
+        backend,
+        plane_resident,
+        count,
+        rows_for,
+        program_for=lambda key, has_add: double_add_program(curve),
+        span_prefix="comb",
+    )
+    points = _finalize_projective(curve, backend, x_acc, y_acc, z_acc)
+    generator = curve.generator
+    for index in range(count):
+        if points[index] is None:
+            points[index] = curve.multiply(generator, scalars[index])
+            if registry.enabled:
+                registry.inc("comb.fallbacks")
+    return points  # type: ignore[return-value]
