@@ -246,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
     ecdh.add_argument("--curve", default="B-163", help="catalog curve name (default B-163; see 'repro curves')")
     ecdh.add_argument("--batch", type=int, default=64, help="independent key agreements per side (default 64)")
     ecdh.add_argument("--jobs", type=int, default=1, help="worker processes sharding the batch (default 1)")
+    ecdh.add_argument(
+        "--start-method", default=None, metavar="METHOD",
+        help="multiprocessing start method for --jobs (default: fork where "
+        "available, else spawn; shard results are byte-identical either way)",
+    )
     ecdh.add_argument("--seed", type=int, default=2018, help="seed for the key draws")
     ecdh.add_argument(
         "--check", type=int, default=0, metavar="N",
@@ -285,6 +290,73 @@ def build_parser() -> argparse.ArgumentParser:
     keygen.add_argument(
         "--check", type=int, default=0, metavar="N",
         help="cross-check the first N public keys against the scalar-ladder reference path",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[backend_parent, trace_parent],
+        help="run the batching crypto service (JSON over HTTP/1.1, stdlib asyncio)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8742, help="bind port (default 8742; 0 picks a free port)")
+    serve.add_argument(
+        "--curves", default="B-163,K-163", metavar="NAMES",
+        help="comma-separated catalog curves to warm and serve (default B-163,K-163)",
+    )
+    serve.add_argument(
+        "--max-lanes", type=int, default=256,
+        help="flush a batch group when it reaches this many requests (default 256)",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=5.0,
+        help="flush a batch group this long after its oldest request (default 5 ms)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes executing batches (default: CPU count; 0 runs "
+        "batches inline on one worker thread — best on single-core machines)",
+    )
+    serve.add_argument(
+        "--start-method", default=None, metavar="METHOD",
+        help="multiprocessing start method for the worker pool (default: fork "
+        "where available, else spawn)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="seed the server-side keygen scalar draws (reproducible runs)",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a running service with many concurrent single-request clients",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="service address (default 127.0.0.1)")
+    loadgen.add_argument("--port", type=int, default=8742, help="service port (default 8742)")
+    loadgen.add_argument("--op", choices=["ecdh", "keygen", "sign"], default="ecdh")
+    loadgen.add_argument("--curve", default="B-163", help="catalog curve name (default B-163)")
+    loadgen.add_argument("--clients", type=int, default=64, help="concurrent closed-loop clients (default 64)")
+    loadgen.add_argument(
+        "--requests", type=int, default=4, metavar="N",
+        help="requests per client, sent back-to-back on one keep-alive connection (default 4)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    loadgen.add_argument(
+        "--scalar-rep", choices=["auto", "binary", "tau"], default="auto",
+        help="scalar recoding requested from the service (see 'repro ecdh --scalar-rep')",
+    )
+    loadgen.add_argument(
+        "--check", type=int, default=4, metavar="N",
+        help="additionally recompute the first N responses on the scalar "
+        "reference path (default 4; every response is always verified "
+        "against the locally batched expectation)",
+    )
+    loadgen.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="S",
+        help="keep retrying the initial connections for this long (default 30 s)",
+    )
+    loadgen.add_argument(
+        "--stats", action="store_true",
+        help="fetch and print the service's /stats after the run",
     )
 
     stats = subparsers.add_parser(
@@ -620,81 +692,25 @@ def _run_bench(args) -> int:
     return 0
 
 
-def _ecdh_shard(payload) -> tuple:
-    """Worker for ``repro ecdh --jobs``: one shard of the agreement batch.
-
-    Takes plain picklable data (curve name, backend name, ladder path,
-    scalars, peer coordinates) and returns coordinate tuples so shards
-    compose deterministically.  Under the ``fork`` start method the child
-    inherits the parent's warm engine/backend and curve caches, so no
-    per-worker recompilation happens.  The shard runs against a fresh
-    local metrics registry (the forked copy of the parent's counters must
-    not be double-reported) and ships its snapshot back with the
-    coordinates; the parent folds every shard's snapshot into the process
-    registry.
-    """
-    curve_name, backend, plane_resident, scalar_rep, privates, peer_coords = payload
-    curve = curve_by_name(curve_name)
-    peers = [curve.point(x, y, check=False) for x, y in peer_coords]
-    snapshot = None
-    if telemetry_metrics.REGISTRY.enabled:
-        local = telemetry_metrics.MetricsRegistry()
-        previous = telemetry_metrics.set_registry(local)
-        try:
-            points = ecdh_batch(
-                curve, privates, peers, backend=backend,
-                plane_resident=plane_resident, scalar_rep=scalar_rep,
-            )
-        finally:
-            telemetry_metrics.set_registry(previous)
-        snapshot = local.snapshot()
-    else:
-        points = ecdh_batch(
-            curve, privates, peers, backend=backend,
-            plane_resident=plane_resident, scalar_rep=scalar_rep,
-        )
-    return [(point.x, point.y) for point in points], snapshot
-
-
 def _ecdh_agreements(
-    curve, privates, peers, jobs: int, backend=None, plane_resident=None, scalar_rep="auto"
+    curve, privates, peers, jobs: int, backend=None, plane_resident=None,
+    scalar_rep="auto", start_method=None,
 ) -> List:
-    """The batch of shared points, optionally sharded over worker processes."""
-    if jobs <= 1 or len(privates) < 2:
-        return ecdh_batch(
-            curve, privates, peers, backend=backend,
-            plane_resident=plane_resident, scalar_rep=scalar_rep,
-        )
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+    """The batch of shared points, optionally sharded over worker processes.
 
-    if "fork" not in multiprocessing.get_all_start_methods():
-        print("note: no fork start method on this platform; running --jobs 1", file=sys.stderr)
-        return ecdh_batch(
-            curve, privates, peers, backend=backend,
-            plane_resident=plane_resident, scalar_rep=scalar_rep,
-        )
-    jobs = min(jobs, len(privates))
-    chunk = (len(privates) + jobs - 1) // jobs
-    payloads = [
-        (
-            curve.name,
-            backend,
-            plane_resident,
-            scalar_rep,
-            list(privates[start:start + chunk]),
-            [(point.x, point.y) for point in peers[start:start + chunk]],
-        )
-        for start in range(0, len(privates), chunk)
-    ]
-    context = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-        shard_results = list(pool.map(_ecdh_shard, payloads))
-    registry = telemetry_metrics.REGISTRY
-    if registry.enabled:
-        for _, snapshot in shard_results:
-            registry.merge(snapshot)
-    return [curve.point(x, y, check=False) for coords, _ in shard_results for x, y in coords]
+    Delegates to :func:`repro.serve.workers.ecdh_sharded`, the same
+    start-method-agnostic pool code the serving layer uses — under
+    ``fork`` the children inherit the parent's warm caches, under
+    ``spawn`` each shard warms itself, and shard results are
+    byte-identical either way.
+    """
+    from .serve.workers import ecdh_sharded
+
+    return ecdh_sharded(
+        curve, privates, peers, jobs, backend=backend,
+        plane_resident=plane_resident, scalar_rep=scalar_rep,
+        start_method=start_method,
+    )
 
 
 def _run_ecdh(args) -> int:
@@ -743,6 +759,7 @@ def _run_ecdh(args) -> int:
             backend=args.backend,
             plane_resident=plane_resident,
             scalar_rep=args.scalar_rep,
+            start_method=args.start_method,
         )
         bob_shared = _ecdh_agreements(
             curve,
@@ -752,6 +769,7 @@ def _run_ecdh(args) -> int:
             backend=args.backend,
             plane_resident=plane_resident,
             scalar_rep=args.scalar_rep,
+            start_method=args.start_method,
         )
     agree_s = agree_timer.seconds
 
@@ -927,6 +945,91 @@ def _run_sweep(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """``repro serve``: run the batching service until interrupted."""
+    import asyncio
+
+    from .serve import CryptoService
+
+    curves = tuple(name.strip() for name in args.curves.split(",") if name.strip())
+    if not curves:
+        raise SystemExit("--curves must name at least one catalog curve")
+    try:
+        service = CryptoService(
+            backend=args.backend,
+            curves=curves,
+            max_lanes=args.max_lanes,
+            max_delay_ms=args.max_delay_ms,
+            workers=args.workers,
+            start_method=args.start_method,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0] if error.args else error)) from None
+    print(service.pool.describe(), file=sys.stderr)
+
+    def announce(port: int) -> None:
+        print(
+            f"serving {', '.join(curves)} on http://{args.host}:{port} "
+            f"(max_lanes {args.max_lanes}, max_delay {args.max_delay_ms} ms)",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(service.run(args.host, args.port, announce=announce))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    """``repro loadgen``: fire many small clients at a running service."""
+    import asyncio
+    import json as json_module
+
+    from .serve.loadgen import generate_load, http_get
+
+    if args.clients < 1 or args.requests < 1:
+        raise SystemExit("--clients and --requests must be at least 1")
+    try:
+        result = generate_load(
+            args.host, args.port,
+            op=args.op, curve=args.curve,
+            clients=args.clients, requests_per_client=args.requests,
+            seed=args.seed, scalar_rep=args.scalar_rep,
+            spot_checks=args.check, connect_timeout_s=args.connect_timeout,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0] if error.args else error)) from None
+    except OSError as error:
+        raise SystemExit(
+            f"cannot reach the service at {args.host}:{args.port}: {error}"
+        ) from None
+    quantiles = result.latency_quantiles()
+    print(
+        f"{args.op} on {args.curve}: {result.completed}/{result.total} completed, "
+        f"{result.verified} verified against the batched reference "
+        f"({result.spot_checked} also against the scalar ladder)"
+    )
+    print(
+        f"  throughput {result.throughput:>10,.1f} req/s over {result.elapsed_s * 1000:.1f} ms "
+        f"({args.clients} clients x {args.requests} requests)"
+    )
+    if quantiles:
+        print(
+            "  latency    "
+            + "  ".join(f"{name} {value * 1000:.2f} ms" for name, value in quantiles.items())
+        )
+    for line in result.errors[:10]:
+        print(f"  error: {line}", file=sys.stderr)
+    if len(result.errors) > 10:
+        print(f"  ... and {len(result.errors) - 10} more errors", file=sys.stderr)
+    if args.stats:
+        status, payload = asyncio.run(http_get(args.host, args.port, "/stats"))
+        print(json_module.dumps(payload, indent=2))
+    return 1 if result.errors or result.completed != result.total else 0
+
+
 def _run_stats(args) -> int:
     """``repro stats``: the registry plus every named cache, table or JSON."""
     snapshot = snapshot_all()
@@ -1050,6 +1153,12 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
 
     if args.command == "keygen":
         return _run_keygen(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
+
+    if args.command == "loadgen":
+        return _run_loadgen(args)
 
     if args.command == "stats":
         return _run_stats(args)

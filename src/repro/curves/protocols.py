@@ -36,6 +36,7 @@ __all__ = [
     "ecdh_shared",
     "ecdh_batch",
     "ecdsa_sign",
+    "sign_batch",
     "ecdsa_verify",
 ]
 
@@ -230,6 +231,83 @@ def ecdsa_sign(
                 raise ValueError("unlucky nonce: s = 0, pick another")
             continue
         return Signature(r, s)
+
+
+def sign_batch(
+    curve: BinaryCurve,
+    privates: Sequence[int],
+    digests: Sequence[int],
+    *,
+    batched: bool = True,
+    backend=None,
+    plane_resident: Optional[bool] = None,
+    scalar_rep: str = "auto",
+    fixed_base: Optional[bool] = None,
+) -> List[Signature]:
+    """Sign many independent ``(private, digest)`` pairs in one batch.
+
+    The expensive step of every signature is the nonce multiply
+    ``k * G`` — a generator multiply, exactly the shape :func:`keygen_batch`
+    batches — so each retry round gathers the pending nonce multiplies
+    into one :meth:`~repro.curves.point.BinaryCurve.multiply_batch` call
+    (comb table by default, ``fixed_base``/``scalar_rep``/``backend`` as
+    in :func:`keygen_batch`).  The deterministic nonce schedule, its
+    retry-counter semantics and the resulting ``(r, s)`` pairs are
+    byte-identical to calling :func:`ecdsa_sign` per pair, on every
+    backend; ``batched=False`` is that scalar reference.  Retries beyond
+    the first round are astronomically rare (``k`` invalid, ``r = 0`` or
+    ``s = 0``), but the loop replicates them faithfully.
+    """
+    order = _require_order(curve, "ECDSA signing")
+    if len(privates) != len(digests):
+        raise ValueError(
+            f"batch size mismatch: {len(privates)} privates vs {len(digests)} digests"
+        )
+    for private in privates:
+        if not 1 <= private < order:
+            raise ValueError("every private key must satisfy 1 <= d < n")
+    if not batched:
+        return [
+            ecdsa_sign(curve, private, digest)
+            for private, digest in zip(privates, digests)
+        ]
+    count = len(privates)
+    results: "List[Optional[Signature]]" = [None] * count
+    counters = [0] * count
+    pending = list(range(count))
+    generator = curve.generator
+    while pending:
+        retry: List[int] = []
+        lanes: List[tuple] = []
+        for index in pending:
+            k = _deterministic_nonce(curve, privates[index], digests[index], counters[index])
+            counters[index] += 1
+            if not 1 <= k < order:
+                retry.append(index)
+                continue
+            lanes.append((index, k))
+        if lanes:
+            points = curve.multiply_batch(
+                [generator] * len(lanes),
+                [k for _, k in lanes],
+                backend=backend,
+                plane_resident=plane_resident,
+                scalar_rep=scalar_rep,
+                fixed_base=fixed_base,
+            )
+            for (index, k), point in zip(lanes, points):
+                r = point.x % order
+                if r == 0:
+                    retry.append(index)
+                    continue
+                e = digests[index] % order
+                s = (pow(k, -1, order) * (e + privates[index] * r)) % order
+                if s == 0:
+                    retry.append(index)
+                    continue
+                results[index] = Signature(r, s)
+        pending = retry
+    return results  # type: ignore[return-value]
 
 
 def ecdsa_verify(curve: BinaryCurve, public: Point, digest: int, signature: Signature) -> bool:

@@ -16,9 +16,14 @@ of the way of the benchmarks:
   observation summaries add; gauges are last-write-wins.
 
 Histogram-style data is kept as *observations*: per-name
-``count/total/min/max`` summaries.  That is what merging across
-processes can do exactly (quantiles cannot be merged without sketches,
-and a sketch is not worth a third-party dependency here).
+``count/total/min/max`` summaries **plus a log-spaced bucket histogram**
+(:data:`HISTOGRAM_BOUNDS`: powers of two from ~1 µs to 512, one shared
+axis for every observation so latencies and batch-fill lane counts use
+the same machinery).  Bucket counts merge across process snapshots by
+plain element-wise addition — merged histograms are *exactly* equal to
+the serial ones, which is what lets the serving layer report real
+p50/p95/p99 (:func:`summary_quantile`) from worker-process snapshots
+without a third-party sketch dependency.
 
 Telemetry is **on by default** — the per-batch cost is two dict updates,
 invisible next to any field operation — and can be switched off for
@@ -31,22 +36,36 @@ from __future__ import annotations
 import os
 import threading
 import time
+from bisect import bisect_left
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from typing import Any, Dict, Optional
+    from typing import Any, Dict, Optional, Sequence
 
 __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "Stopwatch",
     "REGISTRY",
+    "HISTOGRAM_BOUNDS",
     "default_registry",
     "set_registry",
     "enable",
     "disable",
     "timed",
+    "summary_quantile",
+    "summary_quantiles",
 ]
+
+#: Shared log-spaced bucket upper bounds for every observation histogram:
+#: powers of two from 2^-20 (~0.95 µs) to 2^9 (512).  One fixed axis keeps
+#: bucket counts mergeable by plain addition across process snapshots; the
+#: range covers both sub-millisecond span timings and lane-count
+#: observations like ``service.batch_fill`` (≤ 512 lanes).  Values above
+#: the last bound land in a final overflow bucket.
+HISTOGRAM_BOUNDS: "tuple" = tuple(2.0 ** exponent for exponent in range(-20, 10))
+
+_BUCKETS = len(HISTOGRAM_BOUNDS) + 1
 
 
 class Stopwatch:
@@ -100,10 +119,13 @@ class MetricsRegistry:
             self._gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
+        bucket = bisect_left(HISTOGRAM_BOUNDS, seconds)
         with self._lock:
             entry = self._observations.get(name)
             if entry is None:
-                self._observations[name] = [1, seconds, seconds, seconds]
+                buckets = [0] * _BUCKETS
+                buckets[bucket] = 1
+                self._observations[name] = [1, seconds, seconds, seconds, buckets]
             else:
                 entry[0] += 1
                 entry[1] += seconds
@@ -111,6 +133,7 @@ class MetricsRegistry:
                     entry[2] = seconds
                 if seconds > entry[3]:
                     entry[3] = seconds
+                entry[4][bucket] += 1
 
     def record_batch(self, backend_name: str, op: str, elements: int) -> None:
         """Count one batched field-op call and its element width."""
@@ -137,6 +160,7 @@ class MetricsRegistry:
                         "total_s": entry[1],
                         "min_s": entry[2],
                         "max_s": entry[3],
+                        "buckets": list(entry[4]),
                     }
                     for name, entry in self._observations.items()
                 },
@@ -152,6 +176,10 @@ class MetricsRegistry:
             for name, value in snapshot.get("gauges", {}).items():
                 self._gauges[name] = value
             for name, summary in snapshot.get("observations", {}).items():
+                # Snapshots from before the histogram change carry no
+                # bucket counts; they merge as all-zero histograms so the
+                # count/total/min/max summary stays exact either way.
+                incoming = summary.get("buckets") or [0] * _BUCKETS
                 entry = self._observations.get(name)
                 if entry is None:
                     self._observations[name] = [
@@ -159,12 +187,16 @@ class MetricsRegistry:
                         summary["total_s"],
                         summary["min_s"],
                         summary["max_s"],
+                        list(incoming),
                     ]
                 else:
                     entry[0] += summary["count"]
                     entry[1] += summary["total_s"]
                     entry[2] = min(entry[2], summary["min_s"])
                     entry[3] = max(entry[3], summary["max_s"])
+                    buckets = entry[4]
+                    for index, value in enumerate(incoming):
+                        buckets[index] += value
 
     def reset(self) -> None:
         with self._lock:
@@ -244,3 +276,48 @@ def disable() -> None:
 def timed(name: str) -> Stopwatch:
     """A :class:`Stopwatch` bound to the current process-wide registry."""
     return Stopwatch(REGISTRY, name)
+
+
+def summary_quantile(summary: "Dict[str, Any]", q: float) -> "Optional[float]":
+    """Estimated ``q``-quantile of one observation summary's histogram.
+
+    Walks the cumulative bucket counts to the bucket holding the target
+    rank and interpolates geometrically inside it (the buckets are
+    log-spaced, so geometric interpolation is the unbiased choice); the
+    estimate is clamped into the exact recorded ``[min_s, max_s]`` range.
+    Returns ``None`` for empty summaries or pre-histogram snapshots that
+    carry no bucket counts.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    count = summary.get("count", 0)
+    buckets = summary.get("buckets")
+    if not count or not buckets or not any(buckets):
+        return None
+    minimum, maximum = summary["min_s"], summary["max_s"]
+    rank = max(1, min(count, int(q * count + 0.5)) if q > 0 else 1)
+    if q >= 1.0:
+        return maximum
+    cumulative = 0
+    for index, bucket_count in enumerate(buckets):
+        if not bucket_count:
+            continue
+        cumulative += bucket_count
+        if cumulative < rank:
+            continue
+        lower = HISTOGRAM_BOUNDS[index - 1] if index > 0 else minimum
+        upper = HISTOGRAM_BOUNDS[index] if index < len(HISTOGRAM_BOUNDS) else maximum
+        fraction = (rank - (cumulative - bucket_count)) / bucket_count
+        if lower > 0 and upper > lower:
+            estimate = lower * (upper / lower) ** fraction
+        else:
+            estimate = lower + (upper - lower) * fraction
+        return min(max(estimate, minimum), maximum)
+    return maximum  # pragma: no cover - bucket counts always sum to count
+
+
+def summary_quantiles(
+    summary: "Dict[str, Any]", qs: "Sequence[float]" = (0.5, 0.95, 0.99)
+) -> "Dict[str, Optional[float]]":
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for one observation summary."""
+    return {f"p{round(q * 100)}": summary_quantile(summary, q) for q in qs}

@@ -154,6 +154,20 @@ def span(name: str, **args: "Any") -> "_Span | _NullSpan":
     return TRACER.span(name, **args)
 
 
+def record_span(name: str, start_s: float, duration_s: float, **args: "Any") -> None:
+    """Record one complete span from explicit ``time.perf_counter`` stamps.
+
+    The ``with span(...)`` form cannot describe intervals whose start and
+    end happen on different threads — a batch assembled on the event loop
+    but completed by an executor callback, say.  The serving layer stamps
+    ``perf_counter`` at both ends itself and records the finished span
+    here; a no-op when the :class:`NullTracer` is installed.
+    """
+    tracer = TRACER
+    if tracer.enabled:
+        tracer._record(name, args, start_s, duration_s)
+
+
 def write_chrome_trace(path: str, tracer: "Optional[Tracer]" = None) -> int:
     """Write the tracer's buffer as Chrome trace-event JSON; returns event count."""
     target = tracer if tracer is not None else TRACER

@@ -305,6 +305,35 @@ class TestEcdhCommand:
         out = capsys.readouterr().out
         assert "all 6 shared secrets agree" in out and "byte-identical" in out
 
+    def test_ecdh_jobs_with_explicit_start_method(self, capsys):
+        assert main([
+            "ecdh", "--curve", "T-13", "--batch", "4", "--jobs", "2",
+            "--start-method", "fork", "--check", "4",
+        ]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_ecdh_jobs_rejects_unknown_start_method(self):
+        with pytest.raises(ValueError, match="start method"):
+            main(["ecdh", "--curve", "T-13", "--batch", "4", "--jobs", "2",
+                  "--start-method", "warp"])
+
+    def test_serve_rejects_unknown_curve(self):
+        with pytest.raises(SystemExit, match="unknown curve"):
+            main(["serve", "--curves", "P-256"])
+
+    def test_serve_rejects_empty_curve_list(self):
+        with pytest.raises(SystemExit, match="at least one"):
+            main(["serve", "--curves", ","])
+
+    def test_loadgen_reports_unreachable_service(self):
+        with pytest.raises(SystemExit, match="cannot reach the service"):
+            main(["loadgen", "--curve", "T-13", "--port", "1", "--clients", "1",
+                  "--requests", "1", "--connect-timeout", "0.2"])
+
+    def test_loadgen_rejects_bad_counts(self):
+        with pytest.raises(SystemExit, match="at least 1"):
+            main(["loadgen", "--clients", "0"])
+
     def test_ecdh_rejects_unknown_curve(self):
         with pytest.raises(SystemExit, match="unknown curve"):
             main(["ecdh", "--curve", "P-256"])

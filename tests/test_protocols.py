@@ -14,6 +14,7 @@ from repro.curves import (
     ecdsa_verify,
     generate_keypair,
     keygen_batch,
+    sign_batch,
 )
 from repro.curves.protocols import Signature
 
@@ -158,3 +159,53 @@ class TestEcdsa:
         signature = ecdsa_sign(k163, pair.private, digest)
         assert ecdsa_verify(k163, pair.public, digest, signature)
         assert not ecdsa_verify(k163, pair.public, digest + 1, signature)
+
+
+class TestSignBatch:
+    def test_batched_signatures_equal_scalar_reference(self, toy):
+        rng = random.Random(20)
+        privates = [rng.randrange(1, toy.order) for _ in range(12)]
+        digests = [rng.getrandbits(64) for _ in range(12)]
+        batched = sign_batch(toy, privates, digests)
+        scalar = [ecdsa_sign(toy, d, z) for d, z in zip(privates, digests)]
+        assert batched == scalar
+
+    def test_batched_false_is_the_scalar_path(self, toy):
+        rng = random.Random(21)
+        privates = [rng.randrange(1, toy.order) for _ in range(4)]
+        digests = [rng.getrandbits(32) for _ in range(4)]
+        assert sign_batch(toy, privates, digests, batched=False) == sign_batch(
+            toy, privates, digests
+        )
+
+    def test_signatures_verify_against_their_publics(self, toy):
+        pairs = keygen_batch(toy, 6, seed=22)
+        digests = list(range(100, 106))
+        signatures = sign_batch(toy, [pair.private for pair in pairs], digests)
+        for pair, digest, signature in zip(pairs, digests, signatures):
+            assert ecdsa_verify(toy, pair.public, digest, signature)
+
+    def test_backend_and_route_pins_stay_byte_identical(self, toy):
+        rng = random.Random(23)
+        privates = [rng.randrange(1, toy.order) for _ in range(5)]
+        digests = [rng.getrandbits(48) for _ in range(5)]
+        reference = sign_batch(toy, privates, digests)
+        assert sign_batch(toy, privates, digests, backend="python") == reference
+        assert sign_batch(toy, privates, digests, fixed_base=False) == reference
+        assert sign_batch(
+            toy, privates, digests, fixed_base=False, scalar_rep="binary"
+        ) == reference
+
+    def test_length_mismatch_and_bad_private_raise(self, toy):
+        with pytest.raises(ValueError, match="mismatch"):
+            sign_batch(toy, [1, 2], [3])
+        with pytest.raises(ValueError, match="1 <= d < n"):
+            sign_batch(toy, [0], [1])
+
+    def test_unknown_order_curve_raises(self):
+        b163 = curve_by_name("B-163")
+        with pytest.raises(ValueError, match="known subgroup order"):
+            sign_batch(b163, [5], [7])
+
+    def test_empty_batch(self, toy):
+        assert sign_batch(toy, [], []) == []

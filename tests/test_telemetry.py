@@ -74,6 +74,86 @@ class TestMetricsRegistry:
         registry.merge({})
         assert registry.snapshot()["counters"] == {"x": 1}
 
+    def test_observations_carry_bucket_histograms(self, registry):
+        registry.observe("t", 0.0025)
+        registry.observe("t", 0.0035)
+        registry.observe("t", 300.0)
+        summary = registry.snapshot()["observations"]["t"]
+        buckets = summary["buckets"]
+        assert len(buckets) == len(metrics.HISTOGRAM_BOUNDS) + 1
+        assert sum(buckets) == summary["count"] == 3
+        # 0.0025 and 0.0035 share the (2^-10, 2^-8] axis cell; 300 lands higher.
+        assert max(buckets) == 2
+
+    def test_overflow_bucket_catches_values_beyond_the_axis(self, registry):
+        registry.observe("t", metrics.HISTOGRAM_BOUNDS[-1] * 4)
+        buckets = registry.snapshot()["observations"]["t"]["buckets"]
+        assert buckets[-1] == 1 and sum(buckets) == 1
+
+    def test_merged_histograms_equal_serial_ones(self, registry):
+        """The serving-layer invariant: per-worker snapshots folded into the
+        parent produce exactly the histogram a single serial registry sees."""
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(1e-6, 400.0) for _ in range(500)]
+        serial = metrics.MetricsRegistry()
+        shards = [metrics.MetricsRegistry() for _ in range(4)]
+        for index, value in enumerate(values):
+            serial.observe("lat", value)
+            shards[index % 4].observe("lat", value)
+        for shard in shards:
+            registry.merge(shard.snapshot())
+        merged = registry.snapshot()["observations"]["lat"]
+        expected = serial.snapshot()["observations"]["lat"]
+        assert merged["buckets"] == expected["buckets"]
+        assert merged["count"] == expected["count"]
+        assert merged["min_s"] == expected["min_s"]
+        assert merged["max_s"] == expected["max_s"]
+        assert merged["total_s"] == pytest.approx(expected["total_s"])
+        for q in (0.5, 0.95, 0.99):
+            assert metrics.summary_quantile(merged, q) == pytest.approx(
+                metrics.summary_quantile(expected, q)
+            )
+
+    def test_merge_accepts_pre_histogram_snapshots(self, registry):
+        registry.observe("t", 0.5)
+        legacy = {
+            "counters": {},
+            "gauges": {},
+            "observations": {"t": {"count": 2, "total_s": 1.0, "min_s": 0.4, "max_s": 0.6}},
+        }
+        registry.merge(legacy)
+        summary = registry.snapshot()["observations"]["t"]
+        assert summary["count"] == 3
+        assert sum(summary["buckets"]) == 1  # only the live observation is bucketed
+
+    def test_summary_quantiles_track_exact_percentiles(self, registry):
+        import random
+
+        rng = random.Random(11)
+        values = sorted(rng.uniform(0.0005, 2.0) for _ in range(1000))
+        for value in values:
+            registry.observe("lat", value)
+        summary = registry.snapshot()["observations"]["lat"]
+        estimates = metrics.summary_quantiles(summary)
+        assert set(estimates) == {"p50", "p95", "p99"}
+        for name, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            # log-spaced powers-of-two buckets: estimates land within one
+            # bucket (a factor of 2) of the exact percentile
+            assert exact / 2 <= estimates[name] <= exact * 2
+        assert metrics.summary_quantile(summary, 1.0) == summary["max_s"]
+        assert metrics.summary_quantile(summary, 0.0) >= summary["min_s"]
+
+    def test_summary_quantile_edge_cases(self, registry):
+        assert metrics.summary_quantile({"count": 0}, 0.5) is None
+        no_buckets = {"count": 3, "total_s": 1.0, "min_s": 0.1, "max_s": 0.9}
+        assert metrics.summary_quantile(no_buckets, 0.5) is None
+        with pytest.raises(ValueError):
+            registry.observe("t", 0.1)
+            metrics.summary_quantile(registry.snapshot()["observations"]["t"], 1.5)
+
     def test_reset_clears_everything(self, registry):
         registry.inc("x")
         registry.gauge("g", 1.0)
